@@ -1,0 +1,211 @@
+// Package bmstore is a simulation-backed reproduction of BM-Store (HPCA
+// 2023): a transparent, hardware-assisted virtual local storage
+// architecture for bare-metal clouds. The package wires complete testbeds
+// — host, FPGA BMS-Engine, ARM BMS-Controller, NVMe SSDs, the
+// out-of-band MCTP management path, and the software baselines (native
+// disks, VFIO passthrough, SPDK vhost) — on a deterministic discrete-event
+// simulator, so the paper's experiments run on a laptop.
+//
+// Quick start:
+//
+//	tb := bmstore.NewBMStoreTestbed(bmstore.DefaultConfig())
+//	tb.Run(func(p *sim.Proc) {
+//	    tb.Console.CreateNamespace(p, "vol0", 256<<30, []int{0})
+//	    tb.Console.Bind(p, "vol0", 5)
+//	    drv, _ := tb.AttachTenant(p, 5, host.DefaultDriverConfig())
+//	    res := fio.Run(p, []host.BlockDevice{drv.BlockDev(0)}, spec)
+//	})
+package bmstore
+
+import (
+	"fmt"
+
+	"bmstore/internal/controller"
+	"bmstore/internal/engine"
+	"bmstore/internal/host"
+	"bmstore/internal/pcie"
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+)
+
+// Config describes a testbed: the host, the SSD population, and (for
+// BM-Store rigs) the engine and controller.
+type Config struct {
+	Seed    int64
+	Kernel  host.KernelProfile
+	MemSize uint64
+
+	NumSSDs int
+	// SSD returns the configuration of SSD i; nil means a P4510.
+	SSD func(i int) ssd.Config
+	// SSDWithEnv is like SSD but receives the simulation environment,
+	// needed by device configs that carry env-bound state (e.g. the SATA
+	// bridge's mechanical medium). Takes precedence over SSD.
+	SSDWithEnv func(env *sim.Env, i int) ssd.Config
+	// CaptureData materialises payload bytes end to end. Benchmarks turn
+	// it off; integrity-sensitive work leaves it on.
+	CaptureData bool
+
+	Engine     engine.Config
+	Controller controller.Config
+	// BMCLatency is the console <-> card network + BMC forwarding delay.
+	BMCLatency sim.Time
+
+	// HostLinkLanes/SSDLinkLanes size the PCIe links (x16 / x4 defaults).
+	HostLinkLanes int
+	SSDLinkLanes  int
+}
+
+// DefaultConfig mirrors the paper's testbed (Table III): CentOS 7 with the
+// 3.10 kernel, four 2 TB P4510s, a Gen3 x16 card slot.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          42,
+		Kernel:        host.CentOS("3.10.0"),
+		MemSize:       768 << 30,
+		NumSSDs:       4,
+		CaptureData:   false,
+		Engine:        engine.DefaultConfig(),
+		Controller:    controller.DefaultConfig(),
+		BMCLatency:    80 * sim.Microsecond,
+		HostLinkLanes: 16,
+		SSDLinkLanes:  4,
+	}
+}
+
+// Testbed is a fully wired rig.
+type Testbed struct {
+	Env  *sim.Env
+	Host *host.Host
+
+	// BM-Store components (nil on direct-attached rigs).
+	Engine     *engine.Engine
+	Controller *controller.Controller
+	Console    *controller.Console
+	EnginePort *pcie.Port
+
+	SSDs     []*ssd.SSD
+	SSDPorts []*pcie.Port // set only on direct-attached rigs
+
+	cfg Config
+}
+
+func (c *Config) ssdConfig(env *sim.Env, i int) ssd.Config {
+	var sc ssd.Config
+	switch {
+	case c.SSDWithEnv != nil:
+		sc = c.SSDWithEnv(env, i)
+	case c.SSD != nil:
+		sc = c.SSD(i)
+	default:
+		sc = ssd.P4510(fmt.Sprintf("PHLJ%04d", i))
+	}
+	sc.CaptureData = c.CaptureData
+	return sc
+}
+
+// NewBMStoreTestbed builds host -> BMS-Engine -> SSDs with the
+// BMS-Controller and a remote console on the out-of-band path, and runs
+// the engine's backend bring-up to completion.
+func NewBMStoreTestbed(cfg Config) *Testbed {
+	env := sim.NewEnv(cfg.Seed)
+	h := host.New(env, cfg.MemSize, cfg.Kernel)
+	eng := engine.New(env, cfg.Engine)
+
+	tb := &Testbed{Env: env, Host: h, Engine: eng, cfg: cfg}
+
+	// The console speaks MCTP through the BMC: model the network hop both
+	// ways with BMCLatency.
+	var console *controller.Console
+	hostLink := pcie.NewLink(env, cfg.HostLinkLanes, 250*sim.Nanosecond)
+	port := h.Connect(hostLink, eng, func(raw []byte) {
+		env.Schedule(cfg.BMCLatency, func() { console.Receive(raw) })
+	})
+	eng.AttachHost(port)
+	tb.EnginePort = port
+
+	for i := 0; i < cfg.NumSSDs; i++ {
+		dev := ssd.New(env, cfg.ssdConfig(env, i))
+		eng.AttachBackend(dev, pcie.NewLink(env, cfg.SSDLinkLanes, 300*sim.Nanosecond))
+		tb.SSDs = append(tb.SSDs, dev)
+	}
+
+	tb.Controller = controller.New(env, eng, cfg.Controller)
+	console = controller.NewConsole(env, cfg.Controller.EID, func(raw []byte) {
+		env.Schedule(cfg.BMCLatency, func() { port.VDMToDevice(raw) })
+	})
+	tb.Console = console
+
+	var startErr error
+	boot := env.Go("bmstore/start", func(p *sim.Proc) { startErr = eng.Start(p) })
+	env.RunUntilEvent(boot.Done())
+	if startErr != nil {
+		panic(fmt.Sprintf("bmstore: engine start failed: %v", startErr))
+	}
+	return tb
+}
+
+// NewDirectTestbed builds host -> SSDs with no BM-Store card: the
+// substrate for the native, VFIO and SPDK vhost baselines.
+func NewDirectTestbed(cfg Config) *Testbed {
+	env := sim.NewEnv(cfg.Seed)
+	h := host.New(env, cfg.MemSize, cfg.Kernel)
+	tb := &Testbed{Env: env, Host: h, cfg: cfg}
+	for i := 0; i < cfg.NumSSDs; i++ {
+		dev := ssd.New(env, cfg.ssdConfig(env, i))
+		link := pcie.NewLink(env, cfg.SSDLinkLanes, 300*sim.Nanosecond)
+		port := h.Connect(link, dev, nil)
+		dev.Attach(port)
+		tb.SSDs = append(tb.SSDs, dev)
+		tb.SSDPorts = append(tb.SSDPorts, port)
+	}
+	return tb
+}
+
+// Run starts fn as a root simulation process, drives the simulation until
+// fn returns (server processes like the controller's monitor keep ticking
+// underneath), then aborts leftover processes.
+func (tb *Testbed) Run(fn func(p *sim.Proc)) {
+	main := tb.Env.Go("main", fn)
+	tb.Env.RunUntilEvent(main.Done())
+	tb.Env.Shutdown()
+}
+
+// Go starts a concurrent simulation process (call within Run's function or
+// before Run).
+func (tb *Testbed) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
+	return tb.Env.Go(name, fn)
+}
+
+// AttachTenant attaches a standard NVMe driver to BMS-Engine function fn —
+// exactly what a bare-metal tenant's unmodified OS does. Pass a
+// DriverConfig with VM set to run the driver inside a guest.
+func (tb *Testbed) AttachTenant(p *sim.Proc, fn pcie.FuncID, dcfg host.DriverConfig) (*host.Driver, error) {
+	if tb.Engine == nil {
+		return nil, fmt.Errorf("bmstore: not a BM-Store testbed")
+	}
+	return host.AttachDriver(p, tb.Host, tb.EnginePort, fn, dcfg)
+}
+
+// AttachNative attaches the kernel driver straight to SSD i (the native
+// baseline, or the host-side driver beneath VFIO/vhost). If the SSD has no
+// namespace yet, one covering the whole disk is created.
+func (tb *Testbed) AttachNative(p *sim.Proc, i int, dcfg host.DriverConfig) (*host.Driver, error) {
+	if tb.SSDPorts == nil {
+		return nil, fmt.Errorf("bmstore: not a direct-attached testbed")
+	}
+	if dcfg.CreateNSBlocks == 0 {
+		dcfg.CreateNSBlocks = tb.SSDs[i].Config().CapacityBytes / ssd.BlockSize
+	}
+	return host.AttachDriver(p, tb.Host, tb.SSDPorts[i], 0, dcfg)
+}
+
+// NewSSD builds an extra SSD on this testbed's environment (hot-plug
+// replacements).
+func (tb *Testbed) NewSSD(serial string) (*ssd.SSD, *pcie.Link) {
+	sc := ssd.P4510(serial)
+	sc.CaptureData = tb.cfg.CaptureData
+	dev := ssd.New(tb.Env, sc)
+	link := pcie.NewLink(tb.Env, tb.cfg.SSDLinkLanes, 300*sim.Nanosecond)
+	return dev, link
+}

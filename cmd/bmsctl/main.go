@@ -1,0 +1,188 @@
+// Command bmsctl is the cloud operator's out-of-band management console,
+// demonstrated against an in-process BM-Store testbed: every action below
+// travels as NVMe-MI over MCTP over PCIe VDMs to the BMS-Controller, never
+// through the (tenant-owned) host OS.
+//
+// Usage:
+//
+//	bmsctl [-ssds N] <script>
+//
+// where <script> is a semicolon-separated command list, e.g.:
+//
+//	bmsctl "inventory; create vol0 256; bind vol0 5; qos vol0 50000 0; \
+//	        health 0; upgrade 0 VDV10200; inventory"
+//
+// With no script, a demonstration sequence runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bmstore"
+	"bmstore/internal/sim"
+)
+
+const demoScript = `version; subsys; ds 0; inventory; create vol0 256; bind vol0 5; qos vol0 50000 0; health 0; counters 5; upgrade 0 VDV10200 256; inventory; events`
+
+func main() {
+	ssds := flag.Int("ssds", 2, "number of backend SSDs in the testbed")
+	flag.Parse()
+	script := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(script) == "" {
+		script = demoScript
+		fmt.Println("# no script given; running the demo sequence:")
+		fmt.Println("#", script)
+	}
+
+	cfg := bmstore.DefaultConfig()
+	cfg.NumSSDs = *ssds
+	// Keep the demo's firmware window short.
+	fmt.Printf("# building BM-Store testbed with %d SSDs...\n\n", *ssds)
+	tb := bmstore.NewBMStoreTestbed(cfg)
+
+	ok := true
+	tb.Run(func(p *sim.Proc) {
+		for _, cmd := range strings.Split(script, ";") {
+			fields := strings.Fields(strings.TrimSpace(cmd))
+			if len(fields) == 0 {
+				continue
+			}
+			fmt.Printf("bmsctl> %s\n", strings.Join(fields, " "))
+			if err := run(tb, p, fields); err != nil {
+				fmt.Printf("  error: %v\n", err)
+				ok = false
+			}
+			fmt.Println()
+		}
+	})
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func run(tb *bmstore.Testbed, p *sim.Proc, f []string) error {
+	c := tb.Console
+	switch f[0] {
+	case "version":
+		v, err := c.Version(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  controller %s, engine %s\n", v.Controller, v.Engine)
+	case "inventory":
+		inv, err := c.Inventory(p)
+		if err != nil {
+			return err
+		}
+		for _, b := range inv.Backends {
+			fmt.Printf("  ssd %d: %s %s fw=%s %dGB ready=%v\n", b.Index, b.Model, b.Serial, b.Firmware, b.GB, b.Ready)
+		}
+		for _, ns := range inv.Namespaces {
+			bound := "unbound"
+			if ns.BoundFn != nil {
+				bound = fmt.Sprintf("fn %d", *ns.BoundFn)
+			}
+			fmt.Printf("  namespace %q: %d GB, %s\n", ns.Name, ns.SizeGB, bound)
+		}
+	case "create": // create <name> <GB> [ssd...]
+		if len(f) < 3 {
+			return fmt.Errorf("usage: create <name> <GB> [ssd...]")
+		}
+		gb, err := strconv.Atoi(f[2])
+		if err != nil {
+			return err
+		}
+		var ssds []int
+		for _, a := range f[3:] {
+			i, err := strconv.Atoi(a)
+			if err != nil {
+				return err
+			}
+			ssds = append(ssds, i)
+		}
+		if len(ssds) == 0 {
+			ssds = []int{0}
+		}
+		if err := c.CreateNamespace(p, f[1], uint64(gb)<<30, ssds); err != nil {
+			return err
+		}
+		fmt.Printf("  created %q (%d GB) on SSDs %v\n", f[1], gb, ssds)
+	case "bind": // bind <name> <fn>
+		fn, err := strconv.Atoi(f[2])
+		if err != nil {
+			return err
+		}
+		if err := c.Bind(p, f[1], uint8(fn)); err != nil {
+			return err
+		}
+		fmt.Printf("  bound %q to function %d\n", f[1], fn)
+	case "qos": // qos <name> <iops> <MBps>
+		iops, _ := strconv.ParseFloat(f[2], 64)
+		mbps, _ := strconv.ParseFloat(f[3], 64)
+		if err := c.SetQoS(p, f[1], iops, mbps*1e6); err != nil {
+			return err
+		}
+		fmt.Printf("  qos on %q: %.0f IOPS, %.0f MB/s\n", f[1], iops, mbps)
+	case "health": // health <ssd>
+		i, _ := strconv.Atoi(f[1])
+		h, err := c.Health(p, i)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  ssd %d: %d C, %d%% used, fw %s\n", h.SSD, h.TempC, h.PercentUsed, h.Firmware)
+	case "counters": // counters <fn>
+		fn, _ := strconv.Atoi(f[1])
+		ctr, err := c.Counters(p, uint8(fn))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  fn %d: reads=%v writes=%v\n", fn, ctr["ReadOps"], ctr["WriteOps"])
+	case "upgrade": // upgrade <ssd> <version> [imageKB]
+		i, _ := strconv.Atoi(f[1])
+		kb := 256
+		if len(f) > 3 {
+			kb, _ = strconv.Atoi(f[3])
+		}
+		rep, err := c.HotUpgrade(p, i, f[2], kb)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  upgraded ssd %d to %s: total %.0f ms (ssd reset %.0f ms, bm-store %.0f ms), I/O pause %.0f ms\n",
+			i, rep.Firmware, rep.TotalMS, rep.SSDResetMS, rep.EngineProcMS, rep.IOPauseMS)
+	case "subsys":
+		h, err := c.SubsystemHealth(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  healthy=%v composite %d C, max %d%% used, degraded drives: %d\n",
+			h.Healthy, h.CompositeTempC, h.MaxPercentUsed, h.DegradedDrives)
+	case "ds": // ds <0|1|2>
+		typ, _ := strconv.Atoi(f[1])
+		ds, err := c.ReadDataStructure(p, uint8(typ))
+		if err != nil {
+			return err
+		}
+		switch {
+		case ds.Subsystem != nil:
+			fmt.Printf("  subsystem %s: %d controllers, %d backends\n",
+				ds.Subsystem.NQN, ds.Subsystem.Controllers, ds.Subsystem.Backends)
+		case ds.Ports != nil:
+			for _, pt := range ds.Ports {
+				fmt.Printf("  port %d: %s\n", pt.ID, pt.Kind)
+			}
+		default:
+			fmt.Printf("  active controllers: %v\n", ds.ActiveControllers)
+		}
+	case "events":
+		for _, e := range tb.Controller.Events {
+			fmt.Printf("  %s\n", e)
+		}
+	default:
+		return fmt.Errorf("unknown command %q", f[0])
+	}
+	return nil
+}

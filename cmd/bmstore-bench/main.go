@@ -1,0 +1,59 @@
+// Command bmstore-bench regenerates every table and figure of the BM-Store
+// paper's evaluation on the simulator and prints them as text tables.
+//
+// Usage:
+//
+//	bmstore-bench [-scale fast|full] [-only fig8,fig11,...] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bmstore/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "fast", "run scale: fast or full")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "fast":
+		sc = experiments.Fast()
+	case "full":
+		sc = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-8s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	fmt.Printf("BM-Store evaluation reproduction (scale=%s)\n\n", sc.Name)
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		tab := e.Run(sc)
+		tab.Notes = append(tab.Notes, fmt.Sprintf("wall time: %.1fs", time.Since(start).Seconds()))
+		tab.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,143 @@
+// Command fiosim runs fio-style workloads on the simulator, against any of
+// the four storage schemes the paper compares. It is the quick way to poke
+// at a configuration without writing a program.
+//
+// Usage:
+//
+//	fiosim -scheme bmstore -rw randread -bs 4096 -iodepth 128 -numjobs 4 \
+//	       -runtime 100ms -ssds 1
+//
+// Schemes: native, vfio, bmstore, bmstore-vm, spdk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bmstore"
+	"bmstore/internal/fio"
+	"bmstore/internal/host"
+	"bmstore/internal/sim"
+	"bmstore/internal/spdkvhost"
+)
+
+func main() {
+	scheme := flag.String("scheme", "bmstore", "native | vfio | bmstore | bmstore-vm | spdk")
+	rw := flag.String("rw", "randread", "randread | randwrite | read | write | randrw")
+	bs := flag.Int("bs", 4096, "block size in bytes")
+	iodepth := flag.Int("iodepth", 128, "outstanding I/Os per job")
+	numjobs := flag.Int("numjobs", 4, "concurrent jobs")
+	runtime := flag.Duration("runtime", 100*time.Millisecond, "virtual measurement window")
+	ramp := flag.Duration("ramp", 10*time.Millisecond, "virtual warm-up window")
+	ssds := flag.Int("ssds", 1, "backend SSDs (namespace striped across them for bmstore)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	var pat fio.Pattern
+	switch *rw {
+	case "randread":
+		pat = fio.RandRead
+	case "randwrite":
+		pat = fio.RandWrite
+	case "read":
+		pat = fio.SeqRead
+	case "write":
+		pat = fio.SeqWrite
+	case "randrw":
+		pat = fio.RandRW
+	default:
+		fmt.Fprintf(os.Stderr, "unknown rw %q\n", *rw)
+		os.Exit(2)
+	}
+	spec := fio.Spec{
+		Name: *rw, Pattern: pat, BlockSize: *bs,
+		IODepth: *iodepth, NumJobs: *numjobs,
+		Runtime: sim.Time(runtime.Nanoseconds()), Ramp: sim.Time(ramp.Nanoseconds()),
+	}
+
+	cfg := bmstore.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumSSDs = *ssds
+
+	var res *fio.Result
+	start := time.Now()
+	switch *scheme {
+	case "native", "vfio", "spdk":
+		if *scheme == "spdk" {
+			cfg.Kernel = spdkvhost.PolledKernel()
+		}
+		tb := bmstore.NewDirectTestbed(cfg)
+		tb.Run(func(p *sim.Proc) {
+			dcfg := host.DefaultDriverConfig()
+			if *scheme == "vfio" {
+				vm := host.KVMGuest()
+				dcfg.VM = &vm
+			}
+			drv, err := tb.AttachNative(p, 0, dcfg)
+			if err != nil {
+				panic(err)
+			}
+			var devs []host.BlockDevice
+			if *scheme == "spdk" {
+				tgt := spdkvhost.NewTarget(tb.Env, spdkvhost.DefaultConfig(), 1)
+				vdev := tgt.NewDevice(drv.BlockDev(0), host.CentOS("3.10.0"))
+				for i := 0; i < spec.NumJobs; i++ {
+					devs = append(devs, vdev)
+				}
+			} else {
+				for i := 0; i < spec.NumJobs; i++ {
+					devs = append(devs, drv.BlockDev(i))
+				}
+			}
+			res = fio.Run(p, devs, spec)
+		})
+	case "bmstore", "bmstore-vm":
+		tb := bmstore.NewBMStoreTestbed(cfg)
+		tb.Run(func(p *sim.Proc) {
+			var stripe []int
+			for i := 0; i < *ssds; i++ {
+				stripe = append(stripe, i)
+			}
+			if err := tb.Console.CreateNamespace(p, "vol0", 1536<<30, stripe); err != nil {
+				panic(err)
+			}
+			if err := tb.Console.Bind(p, "vol0", 0); err != nil {
+				panic(err)
+			}
+			dcfg := host.DefaultDriverConfig()
+			if *scheme == "bmstore-vm" {
+				vm := host.KVMGuest()
+				dcfg.VM = &vm
+			}
+			drv, err := tb.AttachTenant(p, 0, dcfg)
+			if err != nil {
+				panic(err)
+			}
+			var devs []host.BlockDevice
+			for i := 0; i < spec.NumJobs; i++ {
+				devs = append(devs, drv.BlockDev(i))
+			}
+			res = fio.Run(p, devs, spec)
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s on %s (%d SSDs): bs=%d iodepth=%d numjobs=%d\n",
+		*rw, *scheme, *ssds, *bs, *iodepth, *numjobs)
+	fmt.Printf("  IOPS      : %.0f\n", res.IOPS())
+	fmt.Printf("  bandwidth : %.1f MB/s\n", res.BandwidthMBs())
+	fmt.Printf("  avg lat   : %.1f us\n", res.AvgLatencyUS())
+	for _, q := range []struct {
+		n string
+		v float64
+	}{{"p50", 0.50}, {"p99", 0.99}, {"p99.9", 0.999}} {
+		h := res.Read.Lat
+		h.Merge(&res.Write.Lat)
+		fmt.Printf("  %-9s : %.1f us\n", q.n, float64(h.Percentile(q.v))/1e3)
+	}
+	fmt.Printf("  (simulated %v in %.1fs wall)\n", *runtime, time.Since(start).Seconds())
+}

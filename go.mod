@@ -1,0 +1,3 @@
+module bmstore
+
+go 1.22

@@ -1,0 +1,353 @@
+// Package kvstore is a log-structured-merge key-value store in the shape
+// of RocksDB, built directly on a host.BlockDevice: write-ahead log with
+// group commit and LSN-based recovery, an in-memory memtable, sorted-string
+// tables with block index and bloom filter, a persisted manifest, and
+// leveled background compaction. The paper's YCSB/RocksDB experiments run
+// against this engine so the full I/O pattern (WAL appends, flush bursts,
+// compaction reads+writes, point lookups) crosses the simulated storage
+// stack.
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"bmstore/internal/host"
+	"bmstore/internal/sim"
+)
+
+// Config tunes the store.
+type Config struct {
+	MemtableBytes   int // flush threshold
+	L0CompactAt     int // number of L0 tables that triggers compaction
+	LevelRatio      int // size ratio between levels
+	BlockBytes      int // SSTable block size
+	WALBytes        uint64
+	GroupCommitWait sim.Time // WAL batching window
+	BloomBitsPerKey int
+	MaxLevels       int
+}
+
+// DefaultConfig mirrors a small RocksDB instance.
+func DefaultConfig() Config {
+	return Config{
+		MemtableBytes:   4 << 20,
+		L0CompactAt:     4,
+		LevelRatio:      10,
+		BlockBytes:      16 << 10,
+		WALBytes:        64 << 20,
+		GroupCommitWait: 20 * sim.Microsecond,
+		BloomBitsPerKey: 10,
+		MaxLevels:       4,
+	}
+}
+
+// Store is one LSM instance.
+type Store struct {
+	env *sim.Env
+	dev host.BlockDevice
+	cfg Config
+
+	mem    *memtable
+	imm    *memtable // memtable being flushed
+	levels [][]*table
+
+	wal        *wal
+	alloc      *allocator
+	flushedLSN uint64 // highest LSN covered by flushed tables
+	memMaxLSN  uint64 // highest LSN in the active memtable
+	immMaxLSN  uint64
+
+	flushBusy bool
+	compBusy  bool
+	flushDone []*sim.Event
+
+	// Stats counts logical operations and physical effects.
+	Stats struct {
+		Puts, Gets, Scans    uint64
+		GetHitsMem           uint64
+		BloomSkips           uint64
+		Flushes, Compactions uint64
+	}
+}
+
+// Open initialises (or recovers) a store on dev: it loads the manifest,
+// reopens the live tables, and replays WAL records newer than the tables.
+func Open(p *sim.Proc, env *sim.Env, dev host.BlockDevice, cfg Config) (*Store, error) {
+	if cfg.BlockBytes%dev.BlockSize() != 0 {
+		return nil, fmt.Errorf("kvstore: block size %d not a multiple of device blocks", cfg.BlockBytes)
+	}
+	walBlocks := cfg.WALBytes / uint64(dev.BlockSize())
+	s := &Store{
+		env: env, dev: dev, cfg: cfg,
+		mem:    newMemtable(),
+		levels: make([][]*table, cfg.MaxLevels),
+		alloc:  newAllocator(manifestBlocks+walBlocks, dev.CapacityBlocks()),
+	}
+	s.wal = newWAL(s, manifestBlocks, walBlocks)
+	m, found, err := s.readManifest(p)
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		s.flushedLSN = m.FlushedLSN
+		if err := s.loadTables(p, m); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.wal.recover(p, s.flushedLSN); err != nil {
+		return nil, err
+	}
+	s.memMaxLSN = s.wal.nextLSN - 1
+	return s, nil
+}
+
+// Put stores value under key, durable once Put returns (WAL committed).
+func (s *Store) Put(p *sim.Proc, key, value []byte) error {
+	s.Stats.Puts++
+	lsn, err := s.wal.append(p, key, value)
+	if err != nil {
+		return err
+	}
+	s.mem.put(key, value)
+	if lsn > s.memMaxLSN {
+		s.memMaxLSN = lsn
+	}
+	if s.mem.bytes >= s.cfg.MemtableBytes && !s.flushBusy {
+		s.startFlush()
+	}
+	return nil
+}
+
+// Delete removes key (a tombstone write).
+func (s *Store) Delete(p *sim.Proc, key []byte) error {
+	return s.Put(p, key, nil)
+}
+
+// Get fetches the newest value of key; ok is false for missing/deleted.
+func (s *Store) Get(p *sim.Proc, key []byte) ([]byte, bool, error) {
+	s.Stats.Gets++
+	if v, hit := s.mem.get(key); hit {
+		s.Stats.GetHitsMem++
+		return v, v != nil, nil
+	}
+	if s.imm != nil {
+		if v, hit := s.imm.get(key); hit {
+			s.Stats.GetHitsMem++
+			return v, v != nil, nil
+		}
+	}
+	for lvl, tables := range s.levels {
+		if lvl == 0 {
+			// L0 tables overlap; newest (last appended) wins.
+			for i := len(tables) - 1; i >= 0; i-- {
+				v, hit, err := tables[i].get(p, key)
+				if err != nil {
+					return nil, false, err
+				}
+				if hit {
+					return v, v != nil, nil
+				}
+			}
+			continue
+		}
+		// Deeper levels are sorted and non-overlapping.
+		i := sort.Search(len(tables), func(i int) bool {
+			return bytes.Compare(tables[i].maxKey, key) >= 0
+		})
+		if i < len(tables) && bytes.Compare(tables[i].minKey, key) <= 0 {
+			v, hit, err := tables[i].get(p, key)
+			if err != nil {
+				return nil, false, err
+			}
+			if hit {
+				return v, v != nil, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan returns up to limit key/value pairs with key >= start, merged
+// across the memtables and every level (the YCSB workload E pattern).
+func (s *Store) Scan(p *sim.Proc, start []byte, limit int) ([]KV, error) {
+	s.Stats.Scans++
+	var iters []*mergeIter
+	iters = append(iters, s.mem.iter(start))
+	if s.imm != nil {
+		iters = append(iters, s.imm.iter(start))
+	}
+	for _, tables := range s.levels {
+		for i := len(tables) - 1; i >= 0; i-- {
+			t := tables[i]
+			if bytes.Compare(t.maxKey, start) < 0 {
+				continue
+			}
+			it, err := t.iter(p, start)
+			if err != nil {
+				return nil, err
+			}
+			iters = append(iters, it)
+		}
+	}
+	return mergeScan(iters, limit), nil
+}
+
+// Flush forces the memtable to disk and waits for it.
+func (s *Store) Flush(p *sim.Proc) error {
+	if err := s.wal.sync(p); err != nil {
+		return err
+	}
+	if s.mem.bytes > 0 && !s.flushBusy {
+		s.startFlush()
+	}
+	for s.flushBusy {
+		ev := s.env.NewEvent()
+		s.flushDone = append(s.flushDone, ev)
+		p.Wait(ev)
+	}
+	return nil
+}
+
+// WaitIdle blocks until background flush and compaction settle (tests and
+// orderly shutdown).
+func (s *Store) WaitIdle(p *sim.Proc) {
+	for s.flushBusy || s.compBusy {
+		p.Sleep(100 * sim.Microsecond)
+	}
+}
+
+// startFlush swaps the memtable and writes it out in the background.
+func (s *Store) startFlush() {
+	s.flushBusy = true
+	s.imm = s.mem
+	s.immMaxLSN = s.memMaxLSN
+	s.mem = newMemtable()
+	imm := s.imm
+	s.env.Go("kv/flush", func(fp *sim.Proc) {
+		t, err := s.writeTable(fp, imm.sorted())
+		if err == nil && t != nil {
+			s.levels[0] = append(s.levels[0], t)
+			s.flushedLSN = s.immMaxLSN
+			s.Stats.Flushes++
+			if err := s.writeManifest(fp); err != nil {
+				panic(fmt.Sprintf("kvstore: manifest write failed: %v", err))
+			}
+		}
+		s.imm = nil
+		s.flushBusy = false
+		for _, ev := range s.flushDone {
+			ev.Trigger(nil)
+		}
+		s.flushDone = nil
+		if len(s.levels[0]) >= s.cfg.L0CompactAt && !s.compBusy {
+			s.startCompaction()
+		}
+	})
+}
+
+// startCompaction merges overflowing levels downward in the background.
+func (s *Store) startCompaction() {
+	s.compBusy = true
+	s.env.Go("kv/compact", func(cp *sim.Proc) {
+		defer func() { s.compBusy = false }()
+		for lvl := 0; lvl < s.cfg.MaxLevels-1; lvl++ {
+			if !s.levelOverflow(lvl) {
+				continue
+			}
+			if err := s.compactLevel(cp, lvl); err != nil {
+				return
+			}
+			s.Stats.Compactions++
+		}
+		if err := s.writeManifest(cp); err != nil {
+			panic(fmt.Sprintf("kvstore: manifest write failed: %v", err))
+		}
+	})
+}
+
+func (s *Store) levelOverflow(lvl int) bool {
+	if lvl == 0 {
+		return len(s.levels[0]) >= s.cfg.L0CompactAt
+	}
+	budget := s.cfg.MemtableBytes
+	for i := 0; i < lvl; i++ {
+		budget *= s.cfg.LevelRatio
+	}
+	var size int
+	for _, t := range s.levels[lvl] {
+		size += t.dataBytes
+	}
+	return size > budget
+}
+
+// compactLevel merges level lvl into lvl+1, charging all the read and
+// write I/O to the device.
+func (s *Store) compactLevel(p *sim.Proc, lvl int) error {
+	src := s.levels[lvl]
+	dst := s.levels[lvl+1]
+	if len(src) == 0 {
+		return nil
+	}
+	var iters []*mergeIter
+	for i := len(src) - 1; i >= 0; i-- {
+		it, err := src[i].iter(p, nil)
+		if err != nil {
+			return err
+		}
+		iters = append(iters, it)
+	}
+	for i := len(dst) - 1; i >= 0; i-- {
+		it, err := dst[i].iter(p, nil)
+		if err != nil {
+			return err
+		}
+		iters = append(iters, it)
+	}
+	merged := mergeScanAll(iters)
+	if lvl+1 == s.cfg.MaxLevels-1 {
+		kept := merged[:0]
+		for _, kv := range merged {
+			if kv.Value != nil {
+				kept = append(kept, kv)
+			}
+		}
+		merged = kept
+	}
+	nt, err := s.writeTable(p, merged)
+	if err != nil {
+		return err
+	}
+	// Free the replaced tables after a grace period: concurrent readers
+	// that picked a table pointer before the swap may still be reading its
+	// blocks (real LSMs hold refcounts; a delay bounds the same hazard).
+	old := append(append([]*table{}, src...), dst...)
+	s.env.Schedule(50*sim.Millisecond, func() {
+		for _, t := range old {
+			s.alloc.release(t.baseBlock, t.blocks)
+		}
+	})
+	s.levels[lvl] = nil
+	if nt != nil {
+		s.levels[lvl+1] = []*table{nt}
+	} else {
+		s.levels[lvl+1] = nil
+	}
+	return nil
+}
+
+// Levels reports the table count per level (observability/tests).
+func (s *Store) Levels() []int {
+	out := make([]int, len(s.levels))
+	for i, ts := range s.levels {
+		out[i] = len(ts)
+	}
+	return out
+}
+
+// KV is one key/value pair.
+type KV struct {
+	Key   []byte
+	Value []byte
+}

@@ -1,0 +1,337 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"bmstore/internal/sim"
+)
+
+// table is one sorted-string table on disk:
+//
+//	[data blocks][index block(s)][bloom block(s)][footer block]
+//
+// Data blocks hold length-prefixed KV records; the index holds the first
+// key of each data block; the footer records the geometry. All metadata is
+// cached in memory after the table is written or opened, so reads cost one
+// data-block I/O after a bloom/index consult — the RocksDB steady state
+// with table/filter caches warm.
+type table struct {
+	s         *Store
+	baseBlock uint64
+	blocks    uint64
+	dataBytes int
+
+	minKey, maxKey []byte
+	blockFirstKey  [][]byte // index: first key per data block
+	nDataBlocks    int
+	bloom          bloomFilter
+	entries        int
+}
+
+// writeTable persists sorted kvs as one table and charges the device I/O.
+// Returns nil for an empty input.
+func (s *Store) writeTable(p *sim.Proc, kvs []KV) (*table, error) {
+	if len(kvs) == 0 {
+		return nil, nil
+	}
+	bs := s.cfg.BlockBytes
+	t := &table{s: s}
+
+	// Build data blocks.
+	var blocksBuf []byte
+	cur := make([]byte, 0, bs)
+	flushBlock := func() {
+		if len(cur) == 0 {
+			return
+		}
+		pad := make([]byte, bs-len(cur))
+		blocksBuf = append(blocksBuf, cur...)
+		blocksBuf = append(blocksBuf, pad...)
+		cur = cur[:0]
+	}
+	t.bloom = newBloom(len(kvs), s.cfg.BloomBitsPerKey)
+	for _, kv := range kvs {
+		rec := encodeRecord(0, kv.Key, kv.Value)
+		if len(cur)+len(rec) > bs && len(cur) > 0 {
+			flushBlock()
+		}
+		if len(rec) > bs {
+			return nil, fmt.Errorf("kvstore: record larger than table block (%d > %d)", len(rec), bs)
+		}
+		if len(cur) == 0 {
+			t.blockFirstKey = append(t.blockFirstKey, append([]byte(nil), kv.Key...))
+		}
+		cur = append(cur, rec...)
+		t.bloom.add(kv.Key)
+		t.dataBytes += len(rec)
+	}
+	flushBlock()
+	t.nDataBlocks = len(blocksBuf) / bs
+	t.entries = len(kvs)
+	t.minKey = append([]byte(nil), kvs[0].Key...)
+	t.maxKey = append([]byte(nil), kvs[len(kvs)-1].Key...)
+
+	// Index + bloom serialised after the data (read back only on open).
+	meta := encodeMeta(t)
+	metaBlocks := (len(meta) + bs - 1) / bs
+	meta = append(meta, make([]byte, metaBlocks*bs-len(meta))...)
+
+	devBS := s.dev.BlockSize()
+	perTB := bs / devBS
+	totalDevBlocks := uint64((t.nDataBlocks + metaBlocks) * perTB)
+	base, err := s.alloc.alloc(totalDevBlocks)
+	if err != nil {
+		return nil, err
+	}
+	t.baseBlock = base
+	t.blocks = totalDevBlocks
+
+	// Write sequentially in 256K chunks (compaction/flush I/O pattern).
+	all := append(blocksBuf, meta...)
+	const chunk = 256 << 10
+	for off := 0; off < len(all); off += chunk {
+		end := off + chunk
+		if end > len(all) {
+			end = len(all)
+		}
+		lba := base + uint64(off/devBS)
+		if err := s.dev.WriteAt(p, lba, uint32((end-off)/devBS), all[off:end]); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.dev.Flush(p); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// encodeMeta serialises the index and bloom filter.
+func encodeMeta(t *table) []byte {
+	var b []byte
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(t.blockFirstKey)))
+	b = append(b, tmp[:4]...)
+	for _, k := range t.blockFirstKey {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(k)))
+		b = append(b, tmp[:4]...)
+		b = append(b, k...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(t.bloom.bits)))
+	b = append(b, tmp[:4]...)
+	b = append(b, t.bloom.bits...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(t.bloom.k))
+	b = append(b, tmp[:4]...)
+	return b
+}
+
+// readDataBlock fetches data block i (one table block) from the device.
+func (t *table) readDataBlock(p *sim.Proc, i int) ([]byte, error) {
+	bs := t.s.cfg.BlockBytes
+	devBS := t.s.dev.BlockSize()
+	perTB := uint64(bs / devBS)
+	buf := make([]byte, bs)
+	lba := t.baseBlock + uint64(i)*perTB
+	if err := t.s.dev.ReadAt(p, lba, uint32(perTB), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// get does a point lookup: bloom check, index search, one block read.
+func (t *table) get(p *sim.Proc, key []byte) ([]byte, bool, error) {
+	if bytes.Compare(key, t.minKey) < 0 || bytes.Compare(key, t.maxKey) > 0 {
+		return nil, false, nil
+	}
+	if !t.bloom.mayContain(key) {
+		t.s.Stats.BloomSkips++
+		return nil, false, nil
+	}
+	i := sort.Search(len(t.blockFirstKey), func(i int) bool {
+		return bytes.Compare(t.blockFirstKey[i], key) > 0
+	}) - 1
+	if i < 0 {
+		return nil, false, nil
+	}
+	blk, err := t.readDataBlock(p, i)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, kv := range decodeBlock(blk) {
+		c := bytes.Compare(kv.Key, key)
+		if c == 0 {
+			return kv.Value, true, nil
+		}
+		if c > 0 {
+			break
+		}
+	}
+	return nil, false, nil
+}
+
+// iter reads the table from the block containing start onward into a merge
+// iterator (range scans and compaction both pay the real block reads).
+func (t *table) iter(p *sim.Proc, start []byte) (*mergeIter, error) {
+	first := 0
+	if start != nil {
+		first = sort.Search(len(t.blockFirstKey), func(i int) bool {
+			return bytes.Compare(t.blockFirstKey[i], start) > 0
+		}) - 1
+		if first < 0 {
+			first = 0
+		}
+	}
+	var kvs []KV
+	for i := first; i < t.nDataBlocks; i++ {
+		blk, err := t.readDataBlock(p, i)
+		if err != nil {
+			return nil, err
+		}
+		for _, kv := range decodeBlock(blk) {
+			if start != nil && bytes.Compare(kv.Key, start) < 0 {
+				continue
+			}
+			kvs = append(kvs, kv)
+		}
+	}
+	return &mergeIter{kvs: kvs}, nil
+}
+
+// decodeBlock parses the records of one data block (same CRC-framed record
+// format as the WAL, with LSN 0).
+func decodeBlock(b []byte) []KV {
+	recs := decodeRecords(b)
+	out := make([]KV, len(recs))
+	for i, r := range recs {
+		out[i] = KV{Key: r.key, Value: r.value}
+	}
+	return out
+}
+
+// openTable reconstructs a table from its manifest descriptor by reading
+// the metadata blocks (index, bloom) back from the device.
+func (s *Store) openTable(p *sim.Proc, d tableDesc) (*table, error) {
+	bs := s.cfg.BlockBytes
+	devBS := s.dev.BlockSize()
+	perTB := uint64(bs / devBS)
+	dataDev := uint64(d.NDataBlocks) * perTB
+	metaDev := d.Blocks - dataDev
+	if metaDev == 0 || dataDev > d.Blocks {
+		return nil, fmt.Errorf("kvstore: corrupt table descriptor %+v", d)
+	}
+	meta := make([]byte, metaDev*uint64(devBS))
+	if err := s.dev.ReadAt(p, d.BaseBlock+dataDev, uint32(metaDev), meta); err != nil {
+		return nil, err
+	}
+	t := &table{
+		s: s, baseBlock: d.BaseBlock, blocks: d.Blocks,
+		dataBytes: d.DataBytes, nDataBlocks: d.NDataBlocks, entries: d.Entries,
+	}
+	if err := decodeMeta(t, meta); err != nil {
+		return nil, err
+	}
+	if len(t.blockFirstKey) > 0 {
+		t.minKey = t.blockFirstKey[0]
+		// Recover maxKey from the last data block.
+		blk, err := t.readDataBlock(p, t.nDataBlocks-1)
+		if err != nil {
+			return nil, err
+		}
+		kvs := decodeBlock(blk)
+		if len(kvs) > 0 {
+			t.maxKey = append([]byte(nil), kvs[len(kvs)-1].Key...)
+		}
+	}
+	return t, nil
+}
+
+// decodeMeta is the inverse of encodeMeta.
+func decodeMeta(t *table, b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("kvstore: short table meta")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	off := 4
+	for i := 0; i < n; i++ {
+		if off+4 > len(b) {
+			return fmt.Errorf("kvstore: truncated table index")
+		}
+		kl := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if off+kl > len(b) {
+			return fmt.Errorf("kvstore: truncated index key")
+		}
+		t.blockFirstKey = append(t.blockFirstKey, append([]byte(nil), b[off:off+kl]...))
+		off += kl
+	}
+	if off+4 > len(b) {
+		return fmt.Errorf("kvstore: truncated bloom length")
+	}
+	bl := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if off+bl+4 > len(b) {
+		return fmt.Errorf("kvstore: truncated bloom bits")
+	}
+	t.bloom.bits = append([]byte(nil), b[off:off+bl]...)
+	off += bl
+	t.bloom.k = int(binary.LittleEndian.Uint32(b[off:]))
+	return nil
+}
+
+// bloomFilter is a classic k-hash bloom filter over FNV-derived hashes.
+type bloomFilter struct {
+	bits []byte
+	k    int
+}
+
+func newBloom(n, bitsPerKey int) bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nBits := n * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	k := bitsPerKey * 69 / 100 // ln2 * bitsPerKey
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return bloomFilter{bits: make([]byte, (nBits+7)/8), k: k}
+}
+
+func bloomHash(key []byte) (uint32, uint32) {
+	h := fnv.New64a()
+	h.Write(key)
+	v := h.Sum64()
+	return uint32(v), uint32(v >> 32)
+}
+
+func (f bloomFilter) add(key []byte) {
+	h1, h2 := bloomHash(key)
+	n := uint32(len(f.bits) * 8)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint32(i)*h2) % n
+		f.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+func (f bloomFilter) mayContain(key []byte) bool {
+	if len(f.bits) == 0 {
+		return true
+	}
+	h1, h2 := bloomHash(key)
+	n := uint32(len(f.bits) * 8)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint32(i)*h2) % n
+		if f.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}

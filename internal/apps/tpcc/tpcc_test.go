@@ -1,0 +1,97 @@
+package tpcc_test
+
+import (
+	"testing"
+
+	"bmstore/internal/apps/minidb"
+	"bmstore/internal/apps/sysbench"
+	"bmstore/internal/apps/tpcc"
+	"bmstore/internal/host"
+	"bmstore/internal/pcie"
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+)
+
+// openDB builds host+SSD+driver+minidb and hands control to fn.
+func openDB(t *testing.T, fn func(p *sim.Proc, env *sim.Env, db *minidb.DB)) {
+	t.Helper()
+	env := sim.NewEnv(61)
+	h := host.New(env, 768<<30, host.CentOS("3.10.0"))
+	cfg := ssd.P4510("T001")
+	cfg.CapacityBytes = 8 << 30
+	dev := ssd.New(env, cfg)
+	port := h.Connect(pcie.NewLink(env, 4, 300*sim.Nanosecond), dev, nil)
+	dev.Attach(port)
+	var drv *host.Driver
+	var err error
+	env.Go("attach", func(p *sim.Proc) {
+		dcfg := host.DefaultDriverConfig()
+		dcfg.CreateNSBlocks = cfg.CapacityBytes / ssd.BlockSize
+		drv, err = host.AttachDriver(p, h, port, 0, dcfg)
+	})
+	env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := env.Go("test", func(p *sim.Proc) {
+		dbc := minidb.DefaultConfig()
+		dbc.PoolPages = 512
+		db, derr := minidb.Open(p, env, drv.BlockDev(0), dbc)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		fn(p, env, db)
+	})
+	env.RunUntilEvent(main.Done())
+	env.Shutdown()
+}
+
+func TestTPCCMixAndProgress(t *testing.T) {
+	openDB(t, func(p *sim.Proc, env *sim.Env, db *minidb.DB) {
+		cfg := tpcc.DefaultConfig()
+		cfg.Warehouses = 2
+		cfg.ItemsPerWarehouse = 500
+		cfg.CustomersPerDistrict = 30
+		cfg.Threads = 8
+		cfg.Duration = 300 * sim.Millisecond
+		if err := tpcc.Load(p, db, cfg); err != nil {
+			t.Fatal(err)
+		}
+		res := tpcc.Run(p, env, db, cfg)
+		if res.NewOrders == 0 || res.Payments == 0 {
+			t.Fatalf("no progress: %+v", res)
+		}
+		// Mix roughly 45/43/4/4/4.
+		noFrac := float64(res.NewOrders) / float64(res.Total())
+		if noFrac < 0.3 || noFrac > 0.6 {
+			t.Fatalf("new-order fraction %.2f", noFrac)
+		}
+		if res.TpmC() <= 0 {
+			t.Fatal("zero tpmC")
+		}
+	})
+}
+
+func TestSysbenchOLTP(t *testing.T) {
+	openDB(t, func(p *sim.Proc, env *sim.Env, db *minidb.DB) {
+		cfg := sysbench.DefaultConfig()
+		cfg.TableSize = 3000
+		cfg.Threads = 8
+		cfg.Duration = 300 * sim.Millisecond
+		if err := sysbench.Load(p, db, cfg); err != nil {
+			t.Fatal(err)
+		}
+		res := sysbench.Run(p, env, db, cfg)
+		if res.Transactions == 0 {
+			t.Fatal("no transactions")
+		}
+		// 20 queries per transaction by construction.
+		qpt := float64(res.Queries) / float64(res.Transactions)
+		if qpt < 19.5 || qpt > 20.5 {
+			t.Fatalf("queries per txn %.1f, want 20", qpt)
+		}
+		if res.AvgLatencyMS() <= 0 {
+			t.Fatal("no latency recorded")
+		}
+	})
+}

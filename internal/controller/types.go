@@ -1,0 +1,139 @@
+package controller
+
+// Wire payloads of the vendor NVMe-MI commands. They travel as JSON inside
+// MCTP messages: small, fragmented over the 64-byte MTU, and easy to audit
+// from a packet capture — a property the production team valued when
+// debugging the MCTP stability issues mentioned in §VI-B.
+
+// VersionInfo answers MIVendorVersion.
+type VersionInfo struct {
+	Controller string
+	Engine     string
+}
+
+// CreateNSReq asks for a namespace carved over the given backend SSDs.
+type CreateNSReq struct {
+	Name      string
+	SizeBytes uint64
+	SSDs      []int
+}
+
+// CreateNSResp reports the created size (rounded up to whole chunks).
+type CreateNSResp struct {
+	SizeBytes uint64
+}
+
+// NameReq addresses a namespace by name.
+type NameReq struct {
+	Name string
+}
+
+// FnReq addresses a front-end function.
+type FnReq struct {
+	Fn uint8
+}
+
+// SSDReq addresses a backend SSD slot.
+type SSDReq struct {
+	SSD int
+}
+
+// BindReq binds a namespace to a front-end function.
+type BindReq struct {
+	Name string
+	Fn   uint8
+}
+
+// QoSReq sets namespace rate limits; zero means unlimited.
+type QoSReq struct {
+	Name        string
+	IOPS        float64
+	BytesPerSec float64
+}
+
+// BackendInfo is one SSD in the inventory.
+type BackendInfo struct {
+	Index    int
+	Serial   string
+	Model    string
+	Firmware string
+	GB       uint64
+	Ready    bool
+}
+
+// NamespaceInfo is one managed namespace in the inventory.
+type NamespaceInfo struct {
+	Name    string
+	SizeGB  uint64
+	BoundFn *int
+}
+
+// InventoryResp answers MIVendorInventory.
+type InventoryResp struct {
+	Backends   []BackendInfo
+	Namespaces []NamespaceInfo
+}
+
+// HealthResp answers MIControllerHealth.
+type HealthResp struct {
+	SSD         int
+	TempC       int
+	PercentUsed int
+	Firmware    string
+}
+
+// Data-structure types for the standard MIReadDataStructure command.
+const (
+	DSSubsystem   = 0
+	DSPorts       = 1
+	DSControllers = 2
+)
+
+// DataStructureReq selects which NVMe-MI data structure to read.
+type DataStructureReq struct {
+	Type uint8
+}
+
+// SubsystemInfo describes the NVM subsystem behind the card.
+type SubsystemInfo struct {
+	NQN         string
+	Controllers int
+	Backends    int
+}
+
+// PortInfo describes one card port.
+type PortInfo struct {
+	ID   int
+	Kind string
+}
+
+// DataStructureResp carries whichever structure was requested.
+type DataStructureResp struct {
+	Subsystem         *SubsystemInfo `json:",omitempty"`
+	Ports             []PortInfo     `json:",omitempty"`
+	ActiveControllers []int          `json:",omitempty"`
+}
+
+// SubsystemHealth answers the standard subsystem health poll.
+type SubsystemHealth struct {
+	Healthy        bool
+	CompositeTempC int
+	MaxPercentUsed int
+	DegradedDrives int
+}
+
+// HotUpgradeReq starts a firmware hot-upgrade of one backend SSD.
+type HotUpgradeReq struct {
+	SSD     int
+	Version string
+	ImageKB int
+}
+
+// HotUpgradeResp reports the Table IX timing breakdown.
+type HotUpgradeResp struct {
+	Firmware     string
+	TotalMS      float64 // download + pause window
+	IOPauseMS    float64 // tenant-visible added latency window
+	SSDResetMS   float64 // firmware activation + controller reset
+	EngineProcMS float64 // BM-Store's own processing (~100 ms in the paper)
+}

@@ -1,0 +1,358 @@
+package engine
+
+import (
+	"fmt"
+
+	"bmstore/internal/nvme"
+	"bmstore/internal/pcie"
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+)
+
+// backend is the host-adaptor state for one attached SSD: queue rings in
+// chip memory, CID bookkeeping, and the quiesce gate used by hot-upgrade
+// and hot-plug.
+type backend struct {
+	e   *Engine
+	idx int
+	dev *ssd.SSD
+	// port is the engine's downstream attachment point: MMIO doorbells go
+	// through it to the SSD, and the SSD's DMA arrives at backendTarget.
+	port *pcie.Port
+
+	adminSQ *beSQ
+	adminCQ *beCQ
+	ioSQs   []*beSQ
+	ioCQs   []*beCQ
+
+	pending map[uint16]*bePending
+	nextCID uint16
+
+	capacityLBA uint64
+	backendNSID uint32
+	chunks      []bool // chunk allocation bitmap
+	ringPages   []uint64
+
+	gateClosed bool
+	gateWait   []*sim.Event
+	inflight   int
+	drainEv    *sim.Event
+
+	ready  bool
+	nextRR int
+}
+
+type beSQ struct {
+	id    uint16
+	ring  nvme.Ring
+	tail  uint32
+	slots *sim.Resource
+}
+
+type beCQ struct {
+	id    uint16
+	ring  nvme.Ring
+	head  uint32
+	phase bool
+}
+
+type bePending struct {
+	sq   *beSQ
+	done func(nvme.Completion)
+}
+
+// AttachBackend wires an SSD below the engine over the given link and
+// returns its backend index. Call InitBackends (or Start on a full rig)
+// before serving I/O.
+func (e *Engine) AttachBackend(dev *ssd.SSD, link *pcie.Link) int {
+	idx := len(e.backends)
+	if idx > MaxSSDID {
+		panic("engine: backend index does not fit the 2-bit mapping field")
+	}
+	b := &backend{
+		e:       e,
+		idx:     idx,
+		dev:     dev,
+		pending: make(map[uint16]*bePending),
+	}
+	b.port = pcie.Connect(e.env, link, backendTarget{e}, func(fn pcie.FuncID, vec int) {
+		b.onIRQ(vec)
+	}, nil, dev)
+	dev.Attach(b.port)
+	e.backends = append(e.backends, b)
+	return idx
+}
+
+// Backends returns the number of attached SSDs.
+func (e *Engine) Backends() int { return len(e.backends) }
+
+// BackendDevice returns the SSD currently behind backend idx.
+func (e *Engine) BackendDevice(idx int) *ssd.SSD { return e.backends[idx].dev }
+
+// Start initialises every attached backend; it must run in process context
+// because the init sequence performs admin round trips.
+func (e *Engine) Start(p *sim.Proc) error {
+	for _, b := range e.backends {
+		if err := b.init(p); err != nil {
+			return fmt.Errorf("engine: backend %d: %w", b.idx, err)
+		}
+	}
+	return nil
+}
+
+// allocRing allocates a queue ring in chip memory and returns its base
+// address with the chip-memory flag set (the form the SSD will DMA to).
+func (b *backend) allocRing(entries uint32, entrySz uint32) uint64 {
+	pages := int((entries*entrySz + hostPageSize - 1) / hostPageSize)
+	base := b.e.chip.AllocPages(pages)
+	for i := 0; i < pages; i++ {
+		b.ringPages = append(b.ringPages, base+uint64(i)*hostPageSize)
+	}
+	return base | ChipMemFlag
+}
+
+const hostPageSize = 4096
+
+// init brings the SSD up: admin queues, namespace discovery (creating the
+// whole-disk namespace on a fresh device), and the I/O queue pairs.
+func (b *backend) init(p *sim.Proc) error {
+	cfg := b.e.cfg
+	const adminDepth = 32
+	b.adminSQ = &beSQ{
+		id:    0,
+		ring:  nvme.Ring{Base: b.allocRing(adminDepth, nvme.SQESize), Entries: adminDepth, EntrySz: nvme.SQESize},
+		slots: sim.NewResource(b.e.env, adminDepth-1),
+	}
+	b.adminCQ = &beCQ{
+		id:    0,
+		ring:  nvme.Ring{Base: b.allocRing(adminDepth, nvme.CQESize), Entries: adminDepth, EntrySz: nvme.CQESize},
+		phase: true,
+	}
+	b.port.MMIOWrite(0, ssd.RegAQA, uint64(adminDepth-1)<<16|uint64(adminDepth-1))
+	b.port.MMIOWrite(0, ssd.RegASQ, b.adminSQ.ring.Base)
+	b.port.MMIOWrite(0, ssd.RegACQ, b.adminCQ.ring.Base)
+	b.port.MMIOWrite(0, ssd.RegCC, 1)
+	p.Sleep(50 * sim.Microsecond) // controller enable time
+
+	// Identify the controller to learn total capacity.
+	page := b.e.allocChipPage()
+	defer b.e.freeChipPages([]uint64{page})
+	cpl := b.adminCmd(p, nvme.Command{
+		Opcode: nvme.AdminIdentify, PRP1: page | ChipMemFlag, CDW10: nvme.CNSController,
+	})
+	if cpl.Status.IsError() {
+		return fmt.Errorf("identify controller: status %#x", cpl.Status)
+	}
+	buf := make([]byte, nvme.IdentifyPageSize)
+	b.e.chip.Read(page, buf)
+	ic := nvme.DecodeIdentifyController(buf)
+	b.capacityLBA = ic.TotalCapBytes / ssd.BlockSize
+
+	// Discover or create the whole-disk back-end namespace.
+	cpl = b.adminCmd(p, nvme.Command{
+		Opcode: nvme.AdminIdentify, PRP1: page | ChipMemFlag, CDW10: nvme.CNSActiveNSList,
+	})
+	if cpl.Status.IsError() {
+		return fmt.Errorf("identify ns list: status %#x", cpl.Status)
+	}
+	b.e.chip.Read(page, buf)
+	if nsid := uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24; nsid != 0 {
+		b.backendNSID = nsid
+	} else {
+		b.e.chip.WriteU64(page, b.capacityLBA)
+		cpl = b.adminCmd(p, nvme.Command{Opcode: nvme.AdminNSManagement, PRP1: page | ChipMemFlag})
+		if cpl.Status.IsError() {
+			return fmt.Errorf("create backend namespace: status %#x", cpl.Status)
+		}
+		b.backendNSID = cpl.DW0
+	}
+
+	// Chunk bitmap: the 6-bit physical chunk field caps usable space.
+	nChunks := int(b.capacityLBA * ssd.BlockSize / b.e.cfg.ChunkBytes)
+	if nChunks > MaxChunkIndex+1 {
+		nChunks = MaxChunkIndex + 1
+	}
+	if b.chunks == nil {
+		b.chunks = make([]bool, nChunks)
+	}
+
+	// I/O queue pairs.
+	b.ioSQs = nil
+	b.ioCQs = nil
+	for i := 0; i < cfg.BackendQPairs; i++ {
+		qid := uint16(i + 1)
+		cq := &beCQ{
+			id:    qid,
+			ring:  nvme.Ring{Base: b.allocRing(cfg.BackendQDepth, nvme.CQESize), Entries: cfg.BackendQDepth, EntrySz: nvme.CQESize},
+			phase: true,
+		}
+		cpl = b.adminCmd(p, nvme.Command{
+			Opcode: nvme.AdminCreateIOCQ, PRP1: cq.ring.Base,
+			CDW10: (cfg.BackendQDepth-1)<<16 | uint32(qid),
+		})
+		if cpl.Status.IsError() {
+			return fmt.Errorf("create backend CQ %d: status %#x", qid, cpl.Status)
+		}
+		sq := &beSQ{
+			id:    qid,
+			ring:  nvme.Ring{Base: b.allocRing(cfg.BackendQDepth, nvme.SQESize), Entries: cfg.BackendQDepth, EntrySz: nvme.SQESize},
+			slots: sim.NewResource(b.e.env, int(cfg.BackendQDepth)-1),
+		}
+		cpl = b.adminCmd(p, nvme.Command{
+			Opcode: nvme.AdminCreateIOSQ, PRP1: sq.ring.Base,
+			CDW10: (cfg.BackendQDepth-1)<<16 | uint32(qid), CDW11: uint32(qid) << 16,
+		})
+		if cpl.Status.IsError() {
+			return fmt.Errorf("create backend SQ %d: status %#x", qid, cpl.Status)
+		}
+		b.ioCQs = append(b.ioCQs, cq)
+		b.ioSQs = append(b.ioSQs, sq)
+	}
+	b.ready = true
+	return nil
+}
+
+// allocCID hands out a CID not currently pending.
+func (b *backend) allocCID() uint16 {
+	for {
+		b.nextCID++
+		if _, busy := b.pending[b.nextCID]; !busy {
+			return b.nextCID
+		}
+	}
+}
+
+// push writes one SQE into a chip-memory ring and rings the SSD doorbell.
+func (b *backend) push(sq *beSQ, cmd nvme.Command) {
+	var buf [nvme.SQESize]byte
+	cmd.Encode(&buf)
+	b.e.chip.Write(ChipAddr(sq.ring.SlotAddr(sq.tail)), buf[:])
+	sq.tail = sq.ring.Next(sq.tail)
+	b.port.MMIOWrite(0, nvme.SQDoorbell(sq.id), uint64(sq.tail))
+}
+
+// adminCmd submits one admin command and blocks until its completion.
+func (b *backend) adminCmd(p *sim.Proc, cmd nvme.Command) nvme.Completion {
+	b.adminSQ.slots.Acquire(p)
+	cid := b.allocCID()
+	cmd.CID = cid
+	ev := b.e.env.NewEvent()
+	b.pending[cid] = &bePending{sq: b.adminSQ, done: func(c nvme.Completion) { ev.Trigger(c) }}
+	b.push(b.adminSQ, cmd)
+	return p.Wait(ev).(nvme.Completion)
+}
+
+// submitIO sends one I/O command to the SSD, respecting the quiesce gate
+// and queue-depth flow control. done runs in scheduler context on
+// completion. qhint spreads submitters over the queue pairs.
+func (b *backend) submitIO(p *sim.Proc, cmd nvme.Command, qhint int, done func(nvme.Completion)) {
+	b.waitGate(p)
+	sq := b.ioSQs[qhint%len(b.ioSQs)]
+	sq.slots.Acquire(p)
+	cid := b.allocCID()
+	cmd.CID = cid
+	cmd.NSID = b.backendNSID
+	b.inflight++
+	b.pending[cid] = &bePending{sq: sq, done: done}
+	b.push(sq, cmd)
+}
+
+// onIRQ scans the completion queue named by the MSI vector.
+func (b *backend) onIRQ(vec int) {
+	var cq *beCQ
+	if vec == 0 {
+		cq = b.adminCQ
+	} else if vec-1 < len(b.ioCQs) {
+		cq = b.ioCQs[vec-1]
+	}
+	if cq == nil {
+		return
+	}
+	for {
+		var raw [nvme.CQESize]byte
+		b.e.chip.Read(ChipAddr(cq.ring.SlotAddr(cq.head)), raw[:])
+		cpl := nvme.DecodeCompletion(&raw)
+		if cpl.Phase != cq.phase {
+			return
+		}
+		cq.head = cq.ring.Next(cq.head)
+		if cq.head == 0 {
+			cq.phase = !cq.phase
+		}
+		b.port.MMIOWrite(0, nvme.CQDoorbell(cq.id), uint64(cq.head))
+		b.complete(cpl)
+	}
+}
+
+func (b *backend) complete(cpl nvme.Completion) {
+	pend, ok := b.pending[cpl.CID]
+	if !ok {
+		return // stale completion from a replaced device
+	}
+	delete(b.pending, cpl.CID)
+	pend.sq.slots.Release()
+	if pend.sq != b.adminSQ {
+		b.inflight--
+		if b.inflight == 0 && b.drainEv != nil {
+			b.drainEv.Trigger(nil)
+		}
+	}
+	b.e.env.Schedule(b.e.cfg.CompleteLatency, func() { pend.done(cpl) })
+}
+
+// --- quiesce gate (hot-upgrade / hot-plug support) ---
+
+// waitGate parks the calling submitter while the gate is closed. Commands
+// held here are the "stored I/O context" of the paper: the host sees added
+// latency, never an error.
+func (b *backend) waitGate(p *sim.Proc) {
+	for b.gateClosed {
+		ev := b.e.env.NewEvent()
+		b.gateWait = append(b.gateWait, ev)
+		p.Wait(ev)
+	}
+}
+
+// closeGate stops new submissions and waits for in-flight commands on this
+// SSD to drain.
+func (b *backend) closeGate(p *sim.Proc) {
+	b.gateClosed = true
+	if b.inflight > 0 {
+		b.drainEv = b.e.env.NewEvent()
+		p.Wait(b.drainEv)
+		b.drainEv = nil
+	}
+}
+
+func (b *backend) openGate() {
+	b.gateClosed = false
+	ws := b.gateWait
+	b.gateWait = nil
+	for _, ev := range ws {
+		ev.Trigger(nil)
+	}
+}
+
+// allocChunk reserves one physical chunk, returning its index.
+func (b *backend) allocChunk() (int, error) {
+	for i, used := range b.chunks {
+		if !used {
+			b.chunks[i] = true
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: backend %d out of chunks", b.idx)
+}
+
+func (b *backend) freeChunk(i int) {
+	if i >= 0 && i < len(b.chunks) {
+		b.chunks[i] = false
+	}
+}
+
+// freeRings recycles ring pages from a previous init (after a controller
+// reset the rings are rebuilt from scratch).
+func (b *backend) freeRings() {
+	b.e.freeChipPages(b.ringPages)
+	b.ringPages = nil
+}

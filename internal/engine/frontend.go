@@ -1,0 +1,480 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bmstore/internal/nvme"
+	"bmstore/internal/pcie"
+	"bmstore/internal/sim"
+)
+
+// function is one host-visible PF/VF: a complete virtual NVMe controller.
+// Tenants drive it with the stock kernel NVMe driver — this is the
+// transparency property that lets BM-Store deploy on bare-metal hosts.
+type function struct {
+	e  *Engine
+	id pcie.FuncID
+
+	regAQA, regASQ, regACQ uint64
+	enabled                bool
+
+	sqs map[uint16]*feSQ
+	cqs map[uint16]*feCQ
+
+	ns *Namespace
+}
+
+type feSQ struct {
+	id       uint16
+	ring     nvme.Ring
+	cqid     uint16
+	head     uint32
+	tail     uint32
+	fetching bool
+}
+
+type feCQ struct {
+	id    uint16
+	ring  nvme.Ring
+	tail  uint32
+	phase bool
+}
+
+func newFunction(e *Engine, id pcie.FuncID) *function {
+	return &function{
+		e: e, id: id,
+		sqs: make(map[uint16]*feSQ),
+		cqs: make(map[uint16]*feCQ),
+	}
+}
+
+// Bound returns the namespace bound to this function, if any.
+func (f *function) Bound() *Namespace { return f.ns }
+
+// ID returns the PCIe function ID.
+func (f *function) ID() pcie.FuncID { return f.id }
+
+func (f *function) regWrite(off, val uint64) {
+	if qid, isCQ, ok := nvme.DoorbellQueue(off); ok {
+		f.doorbell(qid, isCQ, uint32(val))
+		return
+	}
+	switch off {
+	case regAQAOff:
+		f.regAQA = val
+	case regASQOff:
+		f.regASQ = val
+	case regACQOff:
+		f.regACQ = val
+	case regCCOff:
+		if val&1 == 1 && !f.enabled {
+			f.enable()
+		} else if val&1 == 0 {
+			f.disable()
+		}
+	}
+}
+
+// Front-end register offsets mirror the standard NVMe controller map.
+const (
+	regCCOff  = 0x14
+	regAQAOff = 0x24
+	regASQOff = 0x28
+	regACQOff = 0x30
+)
+
+func (f *function) enable() {
+	asqs := uint32(f.regAQA&0xFFF) + 1
+	acqs := uint32(f.regAQA>>16&0xFFF) + 1
+	f.sqs[0] = &feSQ{id: 0, ring: nvme.Ring{Base: f.regASQ, Entries: asqs, EntrySz: nvme.SQESize}}
+	f.cqs[0] = &feCQ{id: 0, ring: nvme.Ring{Base: f.regACQ, Entries: acqs, EntrySz: nvme.CQESize}, phase: true}
+	f.enabled = true
+}
+
+func (f *function) disable() {
+	f.enabled = false
+	f.sqs = make(map[uint16]*feSQ)
+	f.cqs = make(map[uint16]*feCQ)
+}
+
+func (f *function) doorbell(qid uint16, isCQ bool, val uint32) {
+	if !f.enabled || isCQ {
+		return
+	}
+	sq, ok := f.sqs[qid]
+	if !ok {
+		return
+	}
+	sq.tail = val % sq.ring.Entries
+	if !sq.fetching {
+		sq.fetching = true
+		f.e.env.Go(fmt.Sprintf("engine/fn%d/sq%d", f.id, qid), func(p *sim.Proc) {
+			f.fetchLoop(p, sq)
+		})
+	}
+}
+
+// fetchLoop is the target controller's front half: it DMA-reads SQEs from
+// host memory in order and hands each to its own pipeline process.
+func (f *function) fetchLoop(p *sim.Proc, sq *feSQ) {
+	defer func() { sq.fetching = false }()
+	for sq.head != sq.tail {
+		if !f.enabled {
+			return
+		}
+		var buf [nvme.SQESize]byte
+		done := f.e.hostPort.DMARead(sq.ring.SlotAddr(sq.head), nvme.SQESize, buf[:])
+		if w := done - p.Now(); w > 0 {
+			p.Sleep(w)
+		}
+		cmd := nvme.DecodeCommand(&buf)
+		sq.head = sq.ring.Next(sq.head)
+		sqHead := sq.head
+		p.Sleep(f.e.cfg.FetchLatency)
+		if sq.id == 0 {
+			f.e.env.Go("engine/admin", func(ap *sim.Proc) { f.handleAdmin(ap, sq, cmd, sqHead) })
+		} else {
+			f.e.env.Go("engine/io", func(ip *sim.Proc) { f.handleIO(ip, sq, cmd, sqHead) })
+		}
+	}
+}
+
+// postCQE writes one completion entry into the function's CQ in host
+// memory and raises the MSI for it (step 7 of the paper's Fig. 6).
+func (f *function) postCQE(cqid uint16, cpl nvme.Completion) {
+	cq, ok := f.cqs[cqid]
+	if !ok {
+		return
+	}
+	cpl.Phase = cq.phase
+	var buf [nvme.CQESize]byte
+	cpl.Encode(&buf)
+	addr := cq.ring.SlotAddr(cq.tail)
+	cq.tail = cq.ring.Next(cq.tail)
+	if cq.tail == 0 {
+		cq.phase = !cq.phase
+	}
+	done := f.e.hostPort.DMAWrite(addr, nvme.CQESize, buf[:])
+	delay := done - f.e.env.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	fn, vec := f.id, int(cqid)
+	f.e.env.Schedule(delay, func() { f.e.hostPort.RaiseIRQ(fn, vec) })
+}
+
+// handleAdmin services tenant-visible admin commands locally. Management
+// operations (namespace creation, firmware, …) are NOT exposed here — they
+// belong to the out-of-band path through the BMS-Controller.
+func (f *function) handleAdmin(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint32) {
+	p.Sleep(2 * sim.Microsecond)
+	cpl := nvme.Completion{CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead)}
+	switch cmd.Opcode {
+	case nvme.AdminIdentify:
+		cpl.Status = f.adminIdentify(p, cmd)
+	case nvme.AdminCreateIOCQ:
+		qid := uint16(cmd.CDW10)
+		size := cmd.CDW10>>16 + 1
+		if qid == 0 || size < 2 {
+			cpl.Status = nvme.StatusInvalidQueueID
+			break
+		}
+		f.cqs[qid] = &feCQ{id: qid, ring: nvme.Ring{Base: cmd.PRP1, Entries: size, EntrySz: nvme.CQESize}, phase: true}
+	case nvme.AdminCreateIOSQ:
+		qid := uint16(cmd.CDW10)
+		size := cmd.CDW10>>16 + 1
+		cqid := uint16(cmd.CDW11 >> 16)
+		if qid == 0 || size < 2 {
+			cpl.Status = nvme.StatusInvalidQueueID
+			break
+		}
+		if _, ok := f.cqs[cqid]; !ok {
+			cpl.Status = nvme.StatusInvalidQueueID
+			break
+		}
+		f.sqs[qid] = &feSQ{id: qid, ring: nvme.Ring{Base: cmd.PRP1, Entries: size, EntrySz: nvme.SQESize}, cqid: cqid}
+	case nvme.AdminDeleteIOSQ:
+		delete(f.sqs, uint16(cmd.CDW10))
+	case nvme.AdminDeleteIOCQ:
+		delete(f.cqs, uint16(cmd.CDW10))
+	case nvme.AdminSetFeatures, nvme.AdminGetFeatures, nvme.AdminAbort:
+		// accepted, no effect in the model
+	default:
+		// NS management, firmware, format: vendor-only, via out-of-band.
+		cpl.Status = nvme.StatusInvalidOpcode
+	}
+	f.postCQE(sq.cqid, cpl)
+}
+
+func (f *function) adminIdentify(p *sim.Proc, cmd nvme.Command) nvme.Status {
+	page := make([]byte, nvme.IdentifyPageSize)
+	switch cmd.CDW10 & 0xFF {
+	case nvme.CNSController:
+		nn := uint32(0)
+		var cap uint64
+		if f.ns != nil {
+			nn = 1
+			cap = f.ns.SizeLBA * f.ns.blockSize
+		}
+		ic := nvme.IdentifyController{
+			VID: 0x1DED, SSVID: 0x1DED, // Alibaba-style vendor ID
+			Serial:        fmt.Sprintf("BMS-VF%03d", f.id),
+			Model:         "BM-Store Virtual NVMe Disk",
+			Firmware:      f.e.Firmware,
+			NN:            nn,
+			TotalCapBytes: cap,
+		}
+		ic.Encode(page)
+	case nvme.CNSNamespace:
+		if f.ns == nil || cmd.NSID != FrontNSID {
+			return nvme.StatusInvalidNamespace
+		}
+		in := nvme.IdentifyNamespace{NSZE: f.ns.SizeLBA, NCAP: f.ns.SizeLBA}
+		in.Encode(page)
+	case nvme.CNSActiveNSList:
+		if f.ns != nil {
+			binary.LittleEndian.PutUint32(page, FrontNSID)
+		}
+	default:
+		return nvme.StatusInvalidField
+	}
+	done := f.e.hostPort.DMAWrite(cmd.PRP1, len(page), page)
+	if w := done - p.Now(); w > 0 {
+		p.Sleep(w)
+	}
+	return nvme.StatusSuccess
+}
+
+// FrontNSID is the namespace ID a bound namespace appears as on its
+// function (each PF/VF exposes exactly one).
+const FrontNSID = 1
+
+// handleIO is steps 2-3 of the paper's Fig. 6: LBA mapping, QoS admission,
+// PRP rewriting into global PRPs, and forwarding to the host adaptor.
+func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint32) {
+	fail := func(st nvme.Status) {
+		f.postCQE(sq.cqid, nvme.Completion{CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead), Status: st})
+	}
+	ns := f.ns
+	if ns == nil || cmd.NSID != FrontNSID {
+		fail(nvme.StatusInvalidNamespace)
+		return
+	}
+	switch cmd.Opcode {
+	case nvme.IOFlush:
+		f.forwardFlush(p, sq, cmd, sqHead, ns)
+		return
+	case nvme.IORead, nvme.IOWrite:
+	default:
+		fail(nvme.StatusInvalidOpcode)
+		return
+	}
+	slba := cmd.SLBA()
+	nlb := cmd.NLB()
+	if slba+uint64(nlb) > ns.SizeLBA {
+		fail(nvme.StatusLBAOutOfRange)
+		return
+	}
+	nBytes := int(nlb) * int(ns.blockSize)
+
+	// LBA mapping (step 2).
+	p.Sleep(f.e.cfg.MapLatency)
+	extents, err := ns.mt.LookupRange(slba, nlb)
+	if err != nil {
+		fail(nvme.StatusInternal)
+		return
+	}
+
+	// QoS admission: over-threshold commands park in the command buffer
+	// until the dispatcher re-admits them.
+	ns.admit(p, nBytes)
+
+	// PRP conversion to global PRPs.
+	start := p.Now()
+	subs, listPages, st := f.buildSubCommands(p, cmd, extents, nBytes)
+	if st.IsError() {
+		f.e.freeChipPages(listPages)
+		fail(st)
+		return
+	}
+
+	// Forward to the host adaptor (step 3) and join sub-completions.
+	remaining := len(subs)
+	worst := nvme.StatusSuccess
+	isRead := cmd.Opcode == nvme.IORead
+	for _, sub := range subs {
+		be := f.e.backends[sub.ssd]
+		bcmd := nvme.Command{Opcode: cmd.Opcode, PRP1: sub.prp1, PRP2: sub.prp2}
+		bcmd.SetSLBA(sub.physLBA)
+		bcmd.SetNLB(sub.blocks)
+		p.Sleep(f.e.cfg.ForwardLatency)
+		be.submitIO(p, bcmd, int(f.id)*7+int(sq.id), func(c nvme.Completion) {
+			if c.Status.IsError() && worst == nvme.StatusSuccess {
+				worst = c.Status
+			}
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			f.e.freeChipPages(listPages)
+			lat := f.e.env.Now() - start
+			if isRead {
+				ns.ReadStats.Record(nBytes, lat)
+			} else {
+				ns.WriteStats.Record(nBytes, lat)
+			}
+			f.postCQE(sq.cqid, nvme.Completion{
+				CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead), Status: worst,
+			})
+		})
+	}
+}
+
+// forwardFlush fans a flush out to every backend the namespace touches.
+func (f *function) forwardFlush(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint32, ns *Namespace) {
+	ssds := ns.ssdSet()
+	remaining := len(ssds)
+	if remaining == 0 {
+		f.postCQE(sq.cqid, nvme.Completion{CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead)})
+		return
+	}
+	worst := nvme.StatusSuccess
+	for _, idx := range ssds {
+		be := f.e.backends[idx]
+		be.submitIO(p, nvme.Command{Opcode: nvme.IOFlush}, int(f.id), func(c nvme.Completion) {
+			if c.Status.IsError() && worst == nvme.StatusSuccess {
+				worst = c.Status
+			}
+			remaining--
+			if remaining == 0 {
+				f.postCQE(sq.cqid, nvme.Completion{
+					CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead), Status: worst,
+				})
+			}
+		})
+	}
+}
+
+// subCommand is one per-extent backend command with rewritten PRPs.
+type subCommand struct {
+	ssd     int
+	physLBA uint64
+	blocks  uint32
+	prp1    uint64
+	prp2    uint64
+}
+
+// buildSubCommands converts the host PRPs into global PRPs, splitting the
+// transfer when it crosses a chunk boundary. The fast path (single extent,
+// at most two pages) tags PRP1/PRP2 in the pipeline without touching
+// memory; transfers with PRP lists fetch the host list, rewrite every
+// entry, and park the rewritten list in chip memory, exactly as §IV-C
+// describes.
+func (f *function) buildSubCommands(p *sim.Proc, cmd nvme.Command, extents []Extent, nBytes int) ([]subCommand, []uint64, nvme.Status) {
+	// Fast path: no PRP list, no split.
+	if len(extents) == 1 && nBytes <= 2*nvme.PageSize && cmd.PRP1%nvme.PageSize+uint64(nBytes) <= 2*nvme.PageSize {
+		var prp2 uint64
+		if cmd.PRP2 != 0 {
+			prp2 = EncodeGlobalPRP(f.id, cmd.PRP2, false)
+		}
+		return []subCommand{{
+			ssd:     extents[0].SSD,
+			physLBA: extents[0].PhysLBA,
+			blocks:  extents[0].Blocks,
+			prp1:    EncodeGlobalPRP(f.id, cmd.PRP1, false),
+			prp2:    prp2,
+		}}, nil, nvme.StatusSuccess
+	}
+
+	// General path: walk the host PRPs (fetching list pages from host
+	// memory), then rebuild per-extent global PRP sets.
+	segs, err := nvme.WalkPRPs(&hostPRPReader{e: f.e, p: p}, cmd.PRP1, cmd.PRP2, nBytes)
+	if err != nil {
+		return nil, nil, nvme.StatusInvalidField
+	}
+	var subs []subCommand
+	var allLists []uint64
+	segIdx, segOff := 0, 0
+	for _, ext := range extents {
+		extBytes := int(ext.Blocks) * int(f.ns.blockSize)
+		var extSegs []nvme.Segment
+		for extBytes > 0 {
+			s := segs[segIdx]
+			take := s.Len - segOff
+			if take > extBytes {
+				take = extBytes
+			}
+			extSegs = append(extSegs, nvme.Segment{Addr: s.Addr + uint64(segOff), Len: take})
+			segOff += take
+			extBytes -= take
+			if segOff == s.Len {
+				segIdx++
+				segOff = 0
+			}
+		}
+		prp1, prp2, lists := f.buildGlobalPRPs(extSegs)
+		allLists = append(allLists, lists...)
+		subs = append(subs, subCommand{
+			ssd: ext.SSD, physLBA: ext.PhysLBA, blocks: ext.Blocks,
+			prp1: prp1, prp2: prp2,
+		})
+	}
+	return subs, allLists, nvme.StatusSuccess
+}
+
+// buildGlobalPRPs lays tagged segments out as PRP1/PRP2, writing a chained
+// global-PRP list into chip memory when more than two entries are needed.
+func (f *function) buildGlobalPRPs(segs []nvme.Segment) (prp1, prp2 uint64, lists []uint64) {
+	prp1 = EncodeGlobalPRP(f.id, segs[0].Addr, false)
+	if len(segs) == 1 {
+		return prp1, 0, nil
+	}
+	if len(segs) == 2 {
+		return prp1, EncodeGlobalPRP(f.id, segs[1].Addr, false), nil
+	}
+	const perList = nvme.PageSize / 8
+	listAddr := f.e.allocChipPage()
+	lists = append(lists, listAddr)
+	prp2 = (listAddr | ChipMemFlag) // list pointer into chip memory
+	cur := listAddr
+	slot := 0
+	rest := segs[1:]
+	for i, s := range rest {
+		if slot == perList-1 && len(rest)-i > 1 {
+			next := f.e.allocChipPage()
+			lists = append(lists, next)
+			f.e.chip.WriteU64(cur+uint64(slot)*8, next|ChipMemFlag)
+			cur = next
+			slot = 0
+		}
+		f.e.chip.WriteU64(cur+uint64(slot)*8, EncodeGlobalPRP(f.id, s.Addr, false))
+		slot++
+	}
+	return prp1, prp2, lists
+}
+
+// hostPRPReader walks PRP list pages that live in host memory, charging the
+// fetch round trips to the pipeline.
+type hostPRPReader struct {
+	e     *Engine
+	p     *sim.Proc
+	pages map[uint64][]byte
+}
+
+func (r *hostPRPReader) ReadU64(addr uint64) uint64 {
+	pg := addr &^ uint64(nvme.PageSize-1)
+	b, ok := r.pages[pg]
+	if !ok {
+		if r.pages == nil {
+			r.pages = make(map[uint64][]byte)
+		}
+		b = make([]byte, nvme.PageSize)
+		done := r.e.hostPort.DMARead(pg, nvme.PageSize, b)
+		if w := done - r.p.Now(); w > 0 {
+			r.p.Sleep(w)
+		}
+		r.pages[pg] = b
+	}
+	return binary.LittleEndian.Uint64(b[addr-pg:])
+}

@@ -1,0 +1,47 @@
+package engine
+
+import "bmstore/internal/pcie"
+
+// Global PRP format (paper Fig. 4b): the BMS-Engine repurposes the high
+// reserved bits of a 64-bit PRP entry to route back-end DMA. Bits [54:48]
+// carry the 7-bit PCIe function ID of the host PF/VF that issued the
+// command, and bit 55 flags PRP-list pointers. Host physical addresses fit
+// comfortably below bit 48.
+//
+// Bit 63 marks addresses in the engine's own chip memory (back-end queue
+// rings and rewritten PRP-list pages); it plays the role of the separate
+// BAR window a real device would decode.
+const (
+	HostAddrBits = 48
+	HostAddrMask = uint64(1)<<HostAddrBits - 1
+
+	fnShift     = 48
+	fnMask      = uint64(0x7F) << fnShift
+	listFlagBit = uint64(1) << 55
+
+	// ChipMemFlag marks an engine-chip-memory address.
+	ChipMemFlag = uint64(1) << 63
+)
+
+// EncodeGlobalPRP tags a host physical address with the issuing function.
+func EncodeGlobalPRP(fn pcie.FuncID, hostAddr uint64, list bool) uint64 {
+	if hostAddr&^HostAddrMask != 0 {
+		panic("engine: host address exceeds 48 bits")
+	}
+	v := hostAddr | uint64(fn)<<fnShift
+	if list {
+		v |= listFlagBit
+	}
+	return v
+}
+
+// DecodeGlobalPRP splits a global PRP back into its components.
+func DecodeGlobalPRP(v uint64) (fn pcie.FuncID, hostAddr uint64, list bool) {
+	return pcie.FuncID(v & fnMask >> fnShift), v & HostAddrMask, v&listFlagBit != 0
+}
+
+// IsChipMem reports whether an address decodes into engine chip memory.
+func IsChipMem(v uint64) bool { return v&ChipMemFlag != 0 }
+
+// ChipAddr strips the chip-memory flag.
+func ChipAddr(v uint64) uint64 { return v &^ ChipMemFlag }

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bmstore/internal/pcie"
+)
+
+func TestGlobalPRPLayout(t *testing.T) {
+	// Fig. 4b: function ID in bits [54:48], list flag in bit 55.
+	v := EncodeGlobalPRP(0x55, 0x1234000, true)
+	if v&HostAddrMask != 0x1234000 {
+		t.Fatalf("address bits %#x", v&HostAddrMask)
+	}
+	if (v>>48)&0x7F != 0x55 {
+		t.Fatalf("function bits %#x", (v>>48)&0x7F)
+	}
+	if v&(1<<55) == 0 {
+		t.Fatal("list flag not set")
+	}
+}
+
+func TestGlobalPRPRoundTripProperty(t *testing.T) {
+	f := func(fn uint8, addr uint64, list bool) bool {
+		id := pcie.FuncID(fn % 128)
+		a := addr & HostAddrMask
+		g := EncodeGlobalPRP(id, a, list)
+		fn2, a2, l2 := DecodeGlobalPRP(g)
+		return fn2 == id && a2 == a && l2 == list && !IsChipMem(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalPRPRejectsWideAddress(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("49-bit address accepted")
+		}
+	}()
+	EncodeGlobalPRP(0, 1<<48, false)
+}
+
+func TestChipMemFlag(t *testing.T) {
+	a := uint64(0x8000) | ChipMemFlag
+	if !IsChipMem(a) {
+		t.Fatal("flag not detected")
+	}
+	if ChipAddr(a) != 0x8000 {
+		t.Fatalf("chip addr %#x", ChipAddr(a))
+	}
+	if IsChipMem(0x8000) {
+		t.Fatal("plain address detected as chip memory")
+	}
+}

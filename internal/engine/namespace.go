@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"fmt"
+
+	"bmstore/internal/pcie"
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+	"bmstore/internal/stats"
+)
+
+// Namespace is an engine-level virtual disk: a set of 64 GB chunks carved
+// out of the back-end SSDs, exposed to one front-end function as NSID 1.
+type Namespace struct {
+	Name      string
+	SizeLBA   uint64
+	blockSize uint64
+
+	mt     *MappingTable
+	chunks []Entry // allocated chunks in logical order
+
+	qos         *qosBucket
+	buffer      []*bufEntry // the QoS command buffer (Fig. 5)
+	dispatching bool
+
+	boundTo *function
+
+	// Engine I/O counters, read by the BMS-Controller's I/O monitor.
+	ReadStats  stats.IOStats
+	WriteStats stats.IOStats
+
+	env *sim.Env
+}
+
+type bufEntry struct {
+	ev     *sim.Event
+	nBytes int
+}
+
+// CreateNamespace carves sizeBytes out of the given back-end SSDs,
+// allocating chunks round-robin across them, and returns the namespace.
+// The size is rounded up to whole chunks.
+func (e *Engine) CreateNamespace(name string, sizeBytes uint64, ssds []int) (*Namespace, error) {
+	if sizeBytes == 0 {
+		return nil, fmt.Errorf("engine: zero-size namespace")
+	}
+	if len(ssds) == 0 {
+		return nil, fmt.Errorf("engine: namespace needs at least one backend")
+	}
+	for _, i := range ssds {
+		if i < 0 || i >= len(e.backends) {
+			return nil, fmt.Errorf("engine: no backend %d", i)
+		}
+	}
+	nChunks := int((sizeBytes + e.cfg.ChunkBytes - 1) / e.cfg.ChunkBytes)
+	mt := NewMappingTable(e.cfg.MTRows, e.cfg.ChunkBytes, ssd.BlockSize)
+	if nChunks > mt.Slots() {
+		return nil, fmt.Errorf("engine: %d chunks exceed the %d-entry mapping table", nChunks, mt.Slots())
+	}
+	ns := &Namespace{
+		Name:      name,
+		SizeLBA:   sizeBytes / ssd.BlockSize,
+		blockSize: ssd.BlockSize,
+		mt:        mt,
+		qos:       newQoSBucket(e.env, QoSLimits{}),
+		env:       e.env,
+	}
+	for i := 0; i < nChunks; i++ {
+		be := e.backends[ssds[i%len(ssds)]]
+		chunk, err := be.allocChunk()
+		if err != nil {
+			e.releaseChunks(ns)
+			return nil, err
+		}
+		ent := Entry{SSD: be.idx, Chunk: chunk}
+		if serr := mt.Set(i, ent); serr != nil {
+			be.freeChunk(chunk)
+			e.releaseChunks(ns)
+			return nil, serr
+		}
+		ns.chunks = append(ns.chunks, ent)
+	}
+	return ns, nil
+}
+
+func (e *Engine) releaseChunks(ns *Namespace) {
+	for _, ent := range ns.chunks {
+		e.backends[ent.SSD].freeChunk(ent.Chunk)
+	}
+	ns.chunks = nil
+}
+
+// DestroyNamespace releases the namespace's chunks. It must be unbound.
+func (e *Engine) DestroyNamespace(ns *Namespace) error {
+	if ns.boundTo != nil {
+		return fmt.Errorf("engine: namespace %q still bound to function %d", ns.Name, ns.boundTo.id)
+	}
+	e.releaseChunks(ns)
+	return nil
+}
+
+// Bind attaches a namespace to a front-end function as NSID 1.
+func (e *Engine) Bind(fn pcie.FuncID, ns *Namespace) error {
+	if int(fn) >= len(e.funcs) {
+		return fmt.Errorf("engine: no function %d", fn)
+	}
+	f := e.funcs[fn]
+	if f.ns != nil {
+		return fmt.Errorf("engine: function %d already has a namespace", fn)
+	}
+	if ns.boundTo != nil {
+		return fmt.Errorf("engine: namespace %q already bound", ns.Name)
+	}
+	f.ns = ns
+	ns.boundTo = f
+	return nil
+}
+
+// Unbind detaches the function's namespace. The front-end identity (the
+// function itself) stays visible to the host, which is what lets hot-plug
+// preserve logical drives.
+func (e *Engine) Unbind(fn pcie.FuncID) {
+	f := e.funcs[fn]
+	if f.ns != nil {
+		f.ns.boundTo = nil
+		f.ns = nil
+	}
+}
+
+// SetQoS installs rate limits on the namespace.
+func (ns *Namespace) SetQoS(l QoSLimits) {
+	ns.qos = newQoSBucket(ns.env, l)
+}
+
+// Limits returns the current QoS limits.
+func (ns *Namespace) Limits() QoSLimits { return ns.qos.limits }
+
+// ssdSet returns the distinct backend indices this namespace touches.
+func (ns *Namespace) ssdSet() []int {
+	var seen [MaxSSDID + 1]bool
+	var out []int
+	for _, c := range ns.chunks {
+		if !seen[c.SSD] {
+			seen[c.SSD] = true
+			out = append(out, c.SSD)
+		}
+	}
+	return out
+}
+
+// MappingEntries returns a copy of the chunk map (for management queries).
+func (ns *Namespace) MappingEntries() []Entry {
+	return append([]Entry(nil), ns.chunks...)
+}
+
+// admit passes the command through the QoS threshold check; commands over
+// the limit join the namespace's command buffer and wait for the
+// dispatcher to re-admit them in FIFO order.
+func (ns *Namespace) admit(p *sim.Proc, nBytes int) {
+	if ns.qos.Unlimited() && len(ns.buffer) == 0 {
+		return
+	}
+	if len(ns.buffer) == 0 {
+		if ok, _ := ns.qos.Admit(nBytes); ok {
+			return
+		}
+	}
+	be := &bufEntry{ev: ns.env.NewEvent(), nBytes: nBytes}
+	ns.buffer = append(ns.buffer, be)
+	if !ns.dispatching {
+		ns.dispatching = true
+		ns.env.Go("engine/qos-dispatch", func(dp *sim.Proc) { ns.dispatch(dp) })
+	}
+	p.Wait(be.ev)
+}
+
+// dispatch is the command dispatcher of Fig. 5: it drains the buffer in
+// order as tokens accrue.
+func (ns *Namespace) dispatch(p *sim.Proc) {
+	defer func() { ns.dispatching = false }()
+	for len(ns.buffer) > 0 {
+		head := ns.buffer[0]
+		ok, wait := ns.qos.Admit(head.nBytes)
+		if !ok {
+			p.Sleep(wait)
+			continue
+		}
+		ns.buffer = ns.buffer[1:]
+		head.ev.Trigger(nil)
+	}
+}

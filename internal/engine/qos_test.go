@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"testing"
+
+	"bmstore/internal/sim"
+)
+
+func TestQoSUnlimitedAlwaysAdmits(t *testing.T) {
+	env := sim.NewEnv(1)
+	b := newQoSBucket(env, QoSLimits{})
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.Admit(1 << 20); !ok {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+}
+
+func TestQoSIOPSLimitEnforced(t *testing.T) {
+	env := sim.NewEnv(1)
+	b := newQoSBucket(env, QoSLimits{IOPS: 1000})
+	admitted := 0
+	// Drain the burst plus whatever refills over 100ms of virtual time.
+	end := sim.Time(100 * sim.Millisecond)
+	for env.Now() < end {
+		ok, wait := b.Admit(4096)
+		if ok {
+			admitted++
+			continue
+		}
+		env.RunUntil(env.Now() + wait)
+	}
+	// 1000 IOPS over 0.1s = 100, plus the small burst allowance.
+	if admitted < 100 || admitted > 100+int(b.opsBurst)+1 {
+		t.Fatalf("admitted %d ops, want ~100-110", admitted)
+	}
+}
+
+func TestQoSBandwidthLimitEnforced(t *testing.T) {
+	env := sim.NewEnv(1)
+	b := newQoSBucket(env, QoSLimits{BytesPerSec: 100 << 20}) // 100 MB/s
+	var bytes int
+	end := sim.Time(200 * sim.Millisecond)
+	for env.Now() < end {
+		ok, wait := b.Admit(128 << 10)
+		if ok {
+			bytes += 128 << 10
+			continue
+		}
+		env.RunUntil(env.Now() + wait)
+	}
+	// 100 MB/s over 0.2s = 20 MB, plus burst (4 MB floor).
+	mb := float64(bytes) / (1 << 20)
+	if mb < 19 || mb > 26 {
+		t.Fatalf("admitted %.1f MB, want ~20-25", mb)
+	}
+}
+
+func TestQoSLargeIOAlwaysFitsEventually(t *testing.T) {
+	env := sim.NewEnv(1)
+	b := newQoSBucket(env, QoSLimits{BytesPerSec: 1 << 20})
+	// A single I/O larger than one second of tokens must still be
+	// admittable thanks to the burst floor.
+	ok, wait := b.Admit(2 << 20)
+	if !ok {
+		env.RunUntil(env.Now() + wait)
+		ok, _ = b.Admit(2 << 20)
+	}
+	if !ok {
+		t.Fatal("large I/O starved")
+	}
+}

@@ -1,0 +1,245 @@
+// Package experiments contains one runnable harness per table and figure
+// of the paper's evaluation (§V). Each experiment builds the appropriate
+// rig (native, VFIO, SPDK vhost, or BM-Store), runs the paper's workload,
+// and returns typed rows that cmd/bmstore-bench renders and bench_test.go
+// exercises. EXPERIMENTS.md records paper-vs-measured for each one.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bmstore"
+	"bmstore/internal/fio"
+	"bmstore/internal/host"
+	"bmstore/internal/sim"
+	"bmstore/internal/spdkvhost"
+)
+
+// Scale selects run lengths: Fast for tests/benches, Full for the numbers
+// in EXPERIMENTS.md. Virtual time only — absolute results barely move, the
+// confidence intervals shrink.
+type Scale struct {
+	Name        string
+	FioRand     sim.Time // runtime for random-I/O fio cases
+	FioSeq      sim.Time // runtime for bandwidth (sequential) cases
+	FioRampSeq  sim.Time
+	AppLoadCut  int // divide app dataset sizes by this
+	AppDuration sim.Time
+	VMScaleQD   int // per-VM iodepth in the 26-VM experiment
+	VMScaleJobs int
+	// FWCommitMin/Max override the SSD firmware activation window in the
+	// hot-upgrade experiment (a device property; full scale keeps the real
+	// 5-8 s).
+	FWCommitMin sim.Time
+	FWCommitMax sim.Time
+}
+
+// Fast returns the quick-turnaround scale.
+func Fast() Scale {
+	return Scale{
+		Name:        "fast",
+		FioRand:     30 * sim.Millisecond,
+		FioSeq:      400 * sim.Millisecond,
+		FioRampSeq:  200 * sim.Millisecond,
+		AppLoadCut:  4,
+		AppDuration: 400 * sim.Millisecond,
+		VMScaleQD:   64,
+		VMScaleJobs: 2,
+		FWCommitMin: 1200 * sim.Millisecond,
+		FWCommitMax: 1800 * sim.Millisecond,
+	}
+}
+
+// Full returns the publication scale.
+func Full() Scale {
+	return Scale{
+		Name:        "full",
+		FioRand:     150 * sim.Millisecond,
+		FioSeq:      1200 * sim.Millisecond,
+		FioRampSeq:  300 * sim.Millisecond,
+		AppLoadCut:  1,
+		AppDuration: 1500 * sim.Millisecond,
+		VMScaleQD:   128,
+		VMScaleJobs: 4,
+		FWCommitMin: 5 * sim.Second,
+		FWCommitMax: 8 * sim.Second,
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // "fig8", "table5", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], c)
+			} else {
+				fmt.Fprint(w, c, "  ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	for _, wd := range widths {
+		fmt.Fprint(w, strings.Repeat("-", wd), "  ")
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// --- shared rig builders ---
+
+// fioDevs builds one BlockDevice per fio job from a driver.
+func fioDevs(drv *host.Driver, jobs int) []host.BlockDevice {
+	devs := make([]host.BlockDevice, jobs)
+	for i := range devs {
+		devs[i] = drv.BlockDev(i)
+	}
+	return devs
+}
+
+// nativeFio runs one fio spec on a bare-metal native disk.
+func nativeFio(spec fio.Spec, seed int64) *fio.Result {
+	cfg := bmstore.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumSSDs = 1
+	tb := bmstore.NewDirectTestbed(cfg)
+	var res *fio.Result
+	tb.Run(func(p *sim.Proc) {
+		drv, err := tb.AttachNative(p, 0, host.DefaultDriverConfig())
+		if err != nil {
+			panic(err)
+		}
+		res = fio.Run(p, fioDevs(drv, spec.NumJobs), spec)
+	})
+	return res
+}
+
+// bmstoreFio runs one fio spec on a BM-Store virtual disk (bare-metal
+// tenant when vm is nil, guest otherwise).
+func bmstoreFio(spec fio.Spec, seed int64, nsBytes uint64, vm *host.VMProfile) *fio.Result {
+	cfg := bmstore.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumSSDs = 1
+	tb := bmstore.NewBMStoreTestbed(cfg)
+	var res *fio.Result
+	tb.Run(func(p *sim.Proc) {
+		if err := tb.Console.CreateNamespace(p, "vol0", nsBytes, []int{0}); err != nil {
+			panic(err)
+		}
+		if err := tb.Console.Bind(p, "vol0", 0); err != nil {
+			panic(err)
+		}
+		dcfg := host.DefaultDriverConfig()
+		dcfg.VM = vm
+		drv, err := tb.AttachTenant(p, 0, dcfg)
+		if err != nil {
+			panic(err)
+		}
+		res = fio.Run(p, fioDevs(drv, spec.NumJobs), spec)
+	})
+	return res
+}
+
+// vfioFio runs one fio spec on a passed-through native disk inside a VM.
+func vfioFio(spec fio.Spec, seed int64) *fio.Result {
+	cfg := bmstore.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumSSDs = 1
+	tb := bmstore.NewDirectTestbed(cfg)
+	var res *fio.Result
+	tb.Run(func(p *sim.Proc) {
+		vm := host.KVMGuest()
+		dcfg := host.DefaultDriverConfig()
+		dcfg.VM = &vm
+		drv, err := tb.AttachNative(p, 0, dcfg)
+		if err != nil {
+			panic(err)
+		}
+		res = fio.Run(p, fioDevs(drv, spec.NumJobs), spec)
+	})
+	return res
+}
+
+// spdkFio runs one fio spec in a VM whose disk is an SPDK vhost device
+// with one dedicated polling core.
+func spdkFio(spec fio.Spec, seed int64) *fio.Result {
+	cfg := bmstore.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumSSDs = 1
+	cfg.Kernel = spdkvhost.PolledKernel()
+	tb := bmstore.NewDirectTestbed(cfg)
+	var res *fio.Result
+	tb.Run(func(p *sim.Proc) {
+		drv, err := tb.AttachNative(p, 0, host.DefaultDriverConfig())
+		if err != nil {
+			panic(err)
+		}
+		tgt := spdkvhost.NewTarget(tb.Env, spdkvhost.DefaultConfig(), 1)
+		vdev := tgt.NewDevice(drv.BlockDev(0), host.CentOS("3.10.0"))
+		devs := make([]host.BlockDevice, spec.NumJobs)
+		for i := range devs {
+			devs[i] = vdev
+		}
+		res = fio.Run(p, devs, spec)
+	})
+	return res
+}
+
+// guestSpec applies the scale's runtimes to a Table IV case.
+func guestSpec(s Spec0, sc Scale) fio.Spec {
+	spec := s.Spec
+	if spec.Pattern == fio.SeqRead || spec.Pattern == fio.SeqWrite {
+		spec.Runtime = sc.FioSeq
+		spec.Ramp = sc.FioRampSeq
+	} else {
+		spec.Runtime = sc.FioRand
+		spec.Ramp = 5 * sim.Millisecond
+	}
+	return spec
+}
+
+// Spec0 pairs a Table IV case with display metadata.
+type Spec0 struct {
+	Spec fio.Spec
+}
+
+// tableIV returns the six cases with placeholder runtimes.
+func tableIV() []Spec0 {
+	var out []Spec0
+	for _, s := range fio.TableIVCases(0) {
+		out = append(out, Spec0{Spec: s})
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Package fpgares models the BMS-Engine's FPGA resource consumption on the
+// Xilinx Zynq UltraScale+ ZU19EG (the paper's Table II). Utilization grows
+// linearly with attached SSDs — each back-end port replicates the host
+// adaptor, DMA routing and queue RAM — so the model is a linear fit whose
+// coefficients come straight from the published table.
+package fpgares
+
+// ZU19EG device totals.
+const (
+	DeviceLUTs      = 522720
+	DeviceRegisters = 1045440
+	DeviceBRAMs     = 984
+	DeviceURAMs     = 128
+	ClockMHz        = 250
+)
+
+// Per-design coefficients: base engine (SR-IOV layer, target controller,
+// mapping/QoS pipeline) plus a per-SSD increment (host adaptor instance,
+// DMA-routing lanes, queue BRAM/URAM).
+const (
+	lutBase, lutPerSSD   = 188711.0, 28000.0
+	regBase, regPerSSD   = 182309.0, 44000.0
+	bramBase, bramPerSSD = 481.5, 44.5
+	uramBase, uramPerSSD = 39.4, 10.0
+)
+
+// Utilization is one design point.
+type Utilization struct {
+	SSDs      int
+	LUTs      float64
+	Registers float64
+	BRAMs     float64
+	URAMs     float64
+	ClockMHz  int
+}
+
+// Estimate returns the resource utilization for a BMS-Engine bitstream
+// supporting n back-end SSDs.
+func Estimate(n int) Utilization {
+	if n < 1 {
+		n = 1
+	}
+	f := float64(n)
+	return Utilization{
+		SSDs:      n,
+		LUTs:      lutBase + lutPerSSD*f,
+		Registers: regBase + regPerSSD*f,
+		BRAMs:     bramBase + bramPerSSD*f,
+		URAMs:     uramBase + uramPerSSD*f,
+		ClockMHz:  ClockMHz,
+	}
+}
+
+// LUTPct returns LUT utilization as a percentage of the device.
+func (u Utilization) LUTPct() float64 { return u.LUTs / DeviceLUTs * 100 }
+
+// RegPct returns register utilization as a percentage.
+func (u Utilization) RegPct() float64 { return u.Registers / DeviceRegisters * 100 }
+
+// BRAMPct returns block-RAM utilization as a percentage.
+func (u Utilization) BRAMPct() float64 { return u.BRAMs / DeviceBRAMs * 100 }
+
+// URAMPct returns UltraRAM utilization as a percentage.
+func (u Utilization) URAMPct() float64 { return u.URAMs / DeviceURAMs * 100 }
+
+// MaxSSDs returns how many SSDs fit before any resource class exhausts —
+// the headroom claim of §V-D ("BM-Store can support more SSDs with the
+// remaining resources").
+func MaxSSDs() int {
+	n := 1
+	for {
+		u := Estimate(n + 1)
+		if u.LUTs > DeviceLUTs || u.Registers > DeviceRegisters ||
+			u.BRAMs > DeviceBRAMs || u.URAMs > DeviceURAMs {
+			return n
+		}
+		n++
+	}
+}

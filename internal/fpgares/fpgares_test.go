@@ -1,0 +1,55 @@
+package fpgares
+
+import "testing"
+
+// Table II of the paper, verbatim.
+var tableII = []struct {
+	ssds                             int
+	luts, regs                       float64
+	brams, urams                     float64
+	lutPct, regPct, bramPct, uramPct int
+}{
+	{1, 216711, 226309, 526, 49.4, 41, 22, 53, 39},
+	{2, 244711, 270309, 570, 59.4, 47, 26, 58, 46},
+	{4, 300711, 358309, 659, 79.4, 58, 34, 67, 62},
+	{6, 356711, 446309, 748, 99.4, 68, 43, 76, 78},
+}
+
+func TestMatchesTableII(t *testing.T) {
+	for _, row := range tableII {
+		u := Estimate(row.ssds)
+		if u.LUTs != row.luts {
+			t.Errorf("%d SSDs: LUTs %.0f, table %.0f", row.ssds, u.LUTs, row.luts)
+		}
+		if u.Registers != row.regs {
+			t.Errorf("%d SSDs: regs %.0f, table %.0f", row.ssds, u.Registers, row.regs)
+		}
+		if d := u.BRAMs - row.brams; d < -1 || d > 1 {
+			t.Errorf("%d SSDs: BRAMs %.1f, table %.1f", row.ssds, u.BRAMs, row.brams)
+		}
+		if u.URAMs != row.urams {
+			t.Errorf("%d SSDs: URAMs %.1f, table %.1f", row.ssds, u.URAMs, row.urams)
+		}
+		// Percentages within a point of the published ones.
+		for _, c := range []struct {
+			got  float64
+			want int
+		}{{u.LUTPct(), row.lutPct}, {u.RegPct(), row.regPct}, {u.BRAMPct(), row.bramPct}, {u.URAMPct(), row.uramPct}} {
+			if d := c.got - float64(c.want); d < -1.5 || d > 1.5 {
+				t.Errorf("%d SSDs: pct %.1f, table %d", row.ssds, c.got, c.want)
+			}
+		}
+	}
+}
+
+func TestHeadroomBeyondSix(t *testing.T) {
+	if got := MaxSSDs(); got < 7 || got > 12 {
+		t.Fatalf("MaxSSDs() = %d; the paper claims headroom past 6", got)
+	}
+}
+
+func TestClockSpeed(t *testing.T) {
+	if Estimate(4).ClockMHz != 250 {
+		t.Fatal("clock speed should be 250 MHz")
+	}
+}

@@ -1,0 +1,380 @@
+package host
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bmstore/internal/nvme"
+	"bmstore/internal/pcie"
+	"bmstore/internal/sim"
+)
+
+// Register offsets of the standard NVMe controller map (the same whether
+// the function is a raw SSD or a BMS-Engine PF/VF).
+const (
+	regCC  = 0x14
+	regAQA = 0x24
+	regASQ = 0x28
+	regACQ = 0x30
+)
+
+// DriverConfig tunes one driver attachment.
+type DriverConfig struct {
+	Queues     int    // I/O queue pairs (one per submitting thread is typical)
+	QueueDepth uint32 // entries per queue
+	MaxIOBytes int    // largest single I/O the driver will build PRPs for
+	// CreateNSBlocks, when nonzero and the device exposes no namespace,
+	// makes the driver create one of this many blocks (bare-metal setup on
+	// a fresh SSD; the BMS-Engine rejects it, as vendors manage namespaces
+	// out of band).
+	CreateNSBlocks uint64
+	// VM, when non-nil, applies guest virtualisation overhead to every I/O.
+	VM *VMProfile
+}
+
+// DefaultDriverConfig covers the paper's fio setup: 4 jobs, deep queues.
+func DefaultDriverConfig() DriverConfig {
+	return DriverConfig{Queues: 4, QueueDepth: 1024, MaxIOBytes: 1 << 20}
+}
+
+// Driver is an instance of the kernel NVMe driver bound to one PCIe
+// function.
+type Driver struct {
+	h    *Host
+	port *pcie.Port
+	fn   pcie.FuncID
+	cfg  DriverConfig
+
+	admin  *dq
+	queues []*dq
+
+	nsid     uint32
+	nsBlocks uint64
+	ident    nvme.IdentifyController
+}
+
+// dq is one driver-side queue pair.
+type dq struct {
+	id     uint16
+	sqRing nvme.Ring
+	cqRing nvme.Ring
+	tail   uint32
+	cqHead uint32
+	phase  bool
+	slots  *sim.Resource
+	free   []uint16 // free slot indices (used as CIDs)
+	wait   map[uint16]*sim.Event
+	buf    []uint64 // per-slot data buffer base
+	prpPg  []uint64 // per-slot PRP list page
+}
+
+// AttachDriver initialises the NVMe controller behind port/fn and returns
+// a ready driver. Must run in process context (admin round trips).
+func AttachDriver(p *sim.Proc, h *Host, port *pcie.Port, fn pcie.FuncID, cfg DriverConfig) (*Driver, error) {
+	if cfg.Queues <= 0 || cfg.QueueDepth < 2 {
+		return nil, fmt.Errorf("host: bad driver config %+v", cfg)
+	}
+	if cfg.MaxIOBytes <= 0 {
+		cfg.MaxIOBytes = 1 << 20
+	}
+	d := &Driver{h: h, port: port, fn: fn, cfg: cfg}
+	h.register(d)
+
+	// Admin queue pair.
+	const adminDepth = 32
+	d.admin = d.newQueue(0, adminDepth, 4096)
+	port.MMIOWrite(fn, regAQA, uint64(adminDepth-1)<<16|uint64(adminDepth-1))
+	port.MMIOWrite(fn, regASQ, d.admin.sqRing.Base)
+	port.MMIOWrite(fn, regACQ, d.admin.cqRing.Base)
+	port.MMIOWrite(fn, regCC, 1)
+	p.Sleep(20 * sim.Microsecond) // CSTS.RDY poll
+
+	// Identify controller.
+	page := h.Mem.AllocPages(1)
+	cpl := d.AdminCmd(p, nvme.Command{Opcode: nvme.AdminIdentify, PRP1: page, CDW10: nvme.CNSController})
+	if cpl.Status.IsError() {
+		return nil, fmt.Errorf("host: identify controller failed: %#x", cpl.Status)
+	}
+	buf := make([]byte, nvme.IdentifyPageSize)
+	h.Mem.Read(page, buf)
+	d.ident = nvme.DecodeIdentifyController(buf)
+
+	// Namespace discovery (and optional creation on bare SSDs).
+	cpl = d.AdminCmd(p, nvme.Command{Opcode: nvme.AdminIdentify, PRP1: page, CDW10: nvme.CNSActiveNSList})
+	if cpl.Status.IsError() {
+		return nil, fmt.Errorf("host: identify ns list failed: %#x", cpl.Status)
+	}
+	h.Mem.Read(page, buf)
+	d.nsid = binary.LittleEndian.Uint32(buf)
+	if d.nsid == 0 {
+		if cfg.CreateNSBlocks == 0 {
+			return nil, fmt.Errorf("host: device exposes no namespace")
+		}
+		h.Mem.WriteU64(page, cfg.CreateNSBlocks)
+		cpl = d.AdminCmd(p, nvme.Command{Opcode: nvme.AdminNSManagement, PRP1: page})
+		if cpl.Status.IsError() {
+			return nil, fmt.Errorf("host: namespace create failed: %#x", cpl.Status)
+		}
+		d.nsid = cpl.DW0
+	}
+	cpl = d.AdminCmd(p, nvme.Command{Opcode: nvme.AdminIdentify, NSID: d.nsid, PRP1: page, CDW10: nvme.CNSNamespace})
+	if cpl.Status.IsError() {
+		return nil, fmt.Errorf("host: identify namespace failed: %#x", cpl.Status)
+	}
+	h.Mem.Read(page, buf)
+	d.nsBlocks = nvme.DecodeIdentifyNamespace(buf).NSZE
+
+	// I/O queue pairs.
+	for i := 0; i < cfg.Queues; i++ {
+		qid := uint16(i + 1)
+		q := d.newQueue(qid, cfg.QueueDepth, cfg.MaxIOBytes)
+		cpl = d.AdminCmd(p, nvme.Command{
+			Opcode: nvme.AdminCreateIOCQ, PRP1: q.cqRing.Base,
+			CDW10: (cfg.QueueDepth-1)<<16 | uint32(qid),
+		})
+		if cpl.Status.IsError() {
+			return nil, fmt.Errorf("host: create CQ %d failed: %#x", qid, cpl.Status)
+		}
+		cpl = d.AdminCmd(p, nvme.Command{
+			Opcode: nvme.AdminCreateIOSQ, PRP1: q.sqRing.Base,
+			CDW10: (cfg.QueueDepth-1)<<16 | uint32(qid), CDW11: uint32(qid) << 16,
+		})
+		if cpl.Status.IsError() {
+			return nil, fmt.Errorf("host: create SQ %d failed: %#x", qid, cpl.Status)
+		}
+		d.queues = append(d.queues, q)
+	}
+	return d, nil
+}
+
+// newQueue allocates rings and per-slot buffers in host memory.
+func (d *Driver) newQueue(qid uint16, depth uint32, maxIO int) *dq {
+	mem := d.h.Mem
+	sqb := mem.AllocPages(int((depth*nvme.SQESize + 4095) / 4096))
+	cqb := mem.AllocPages(int((depth*nvme.CQESize + 4095) / 4096))
+	q := &dq{
+		id:     qid,
+		sqRing: nvme.Ring{Base: sqb, Entries: depth, EntrySz: nvme.SQESize},
+		cqRing: nvme.Ring{Base: cqb, Entries: depth, EntrySz: nvme.CQESize},
+		phase:  true,
+		slots:  sim.NewResource(d.h.Env, int(depth)-1),
+		wait:   make(map[uint16]*sim.Event),
+	}
+	nSlots := int(depth) - 1
+	for s := 0; s < nSlots; s++ {
+		q.free = append(q.free, uint16(s))
+		q.buf = append(q.buf, mem.AllocPages(maxIO/4096))
+		q.prpPg = append(q.prpPg, mem.AllocPages(1))
+	}
+	return q
+}
+
+// Identity returns the controller identify data the driver read at attach.
+func (d *Driver) Identity() nvme.IdentifyController { return d.ident }
+
+// NamespaceBlocks returns the active namespace's size in 4K blocks.
+func (d *Driver) NamespaceBlocks() uint64 { return d.nsBlocks }
+
+// register hooks the driver into the host's interrupt router.
+func (h *Host) register(d *Driver) {
+	if h.drivers == nil {
+		h.drivers = make(map[portFn]*Driver)
+	}
+	h.drivers[portFn{d.port, d.fn}] = d
+}
+
+// IRQ handles one MSI vector for this driver: it reaps the corresponding
+// completion queue.
+func (d *Driver) IRQ(vec int) {
+	h := d.h
+	var q *dq
+	if vec == 0 {
+		q = d.admin
+	} else if vec-1 < len(d.queues) {
+		q = d.queues[vec-1]
+	}
+	if q == nil {
+		return
+	}
+	for {
+		var raw [nvme.CQESize]byte
+		h.Mem.Read(q.cqRing.SlotAddr(q.cqHead), raw[:])
+		cpl := nvme.DecodeCompletion(&raw)
+		if cpl.Phase != q.phase {
+			return
+		}
+		q.cqHead = q.cqRing.Next(q.cqHead)
+		if q.cqHead == 0 {
+			q.phase = !q.phase
+		}
+		d.port.MMIOWrite(d.fn, nvme.CQDoorbell(q.id), uint64(q.cqHead))
+		if ev := q.wait[cpl.CID]; ev != nil {
+			delete(q.wait, cpl.CID)
+			ev.Trigger(cpl)
+		}
+	}
+}
+
+// AdminCmd submits one admin command and waits for its completion.
+func (d *Driver) AdminCmd(p *sim.Proc, cmd nvme.Command) nvme.Completion {
+	q := d.admin
+	q.slots.Acquire(p)
+	slot := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	cmd.CID = slot
+	var b [nvme.SQESize]byte
+	cmd.Encode(&b)
+	d.h.Mem.Write(q.sqRing.SlotAddr(q.tail), b[:])
+	q.tail = q.sqRing.Next(q.tail)
+	ev := d.h.Env.NewEvent()
+	q.wait[cmd.CID] = ev
+	d.port.MMIOWrite(d.fn, nvme.SQDoorbell(q.id), uint64(q.tail))
+	cpl := p.Wait(ev).(nvme.Completion)
+	q.free = append(q.free, slot)
+	q.slots.Release()
+	return cpl
+}
+
+// IO performs one read/write/flush on queue qIdx and blocks until done.
+// buf, when non-nil, is copied to/from the slot's DMA buffer (real data
+// through the full path); nil keeps the transfer dataless.
+func (d *Driver) IO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte, qIdx int) nvme.Status {
+	nBytes := int(blocks) * nvme.LBASize
+	if op != nvme.IOFlush && nBytes > d.cfg.MaxIOBytes {
+		panic(fmt.Sprintf("host: %d-byte I/O exceeds driver max %d", nBytes, d.cfg.MaxIOBytes))
+	}
+	// Block-layer split on old kernels.
+	if sp := d.h.Kernel.SplitBytes; sp > 0 && op != nvme.IOFlush && nBytes > sp {
+		return d.splitIO(p, op, lba, blocks, buf, qIdx, sp)
+	}
+	// In-path submission cost.
+	sub := d.h.Kernel.SubmitLatency
+	comp := d.h.Kernel.CompleteLatency
+	if d.cfg.VM != nil {
+		sub += d.cfg.VM.ExtraSubmit
+		comp += d.cfg.VM.ExtraComplete
+	}
+	p.Sleep(sub)
+
+	q := d.queues[qIdx%len(d.queues)]
+	q.slots.Acquire(p)
+	slot := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+
+	cmd := nvme.Command{Opcode: op, NSID: d.nsid, CID: slot}
+	if op != nvme.IOFlush {
+		cmd.SetSLBA(lba)
+		cmd.SetNLB(blocks)
+		cmd.PRP1, cmd.PRP2 = d.buildPRPs(q, slot, nBytes)
+		if op == nvme.IOWrite && buf != nil {
+			d.h.Mem.Write(q.buf[slot], buf)
+		}
+	}
+	var b [nvme.SQESize]byte
+	cmd.Encode(&b)
+	d.h.Mem.Write(q.sqRing.SlotAddr(q.tail), b[:])
+	q.tail = q.sqRing.Next(q.tail)
+	ev := d.h.Env.NewEvent()
+	q.wait[cmd.CID] = ev
+	d.port.MMIOWrite(d.fn, nvme.SQDoorbell(q.id), uint64(q.tail))
+
+	cpl := p.Wait(ev).(nvme.Completion)
+	p.Sleep(comp)
+	if op == nvme.IORead && buf != nil {
+		d.h.Mem.Read(q.buf[slot], buf)
+	}
+	q.free = append(q.free, slot)
+	q.slots.Release()
+	return cpl.Status
+}
+
+// splitIO fans a large I/O out as concurrent split requests, the way the
+// block layer does when a request exceeds max_sectors_kb.
+func (d *Driver) splitIO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte, qIdx, splitBytes int) nvme.Status {
+	splitBlocks := uint32(splitBytes / nvme.LBASize)
+	worst := nvme.StatusSuccess
+	var done []*sim.Event
+	for off := uint32(0); off < blocks; off += splitBlocks {
+		n := splitBlocks
+		if blocks-off < n {
+			n = blocks - off
+		}
+		var part []byte
+		if buf != nil {
+			part = buf[int(off)*nvme.LBASize : int(off+n)*nvme.LBASize]
+		}
+		off := off
+		proc := d.h.Env.Go("host/split", func(sp *sim.Proc) {
+			if st := d.IO(sp, op, lba+uint64(off), n, part, qIdx); st.IsError() && worst == nvme.StatusSuccess {
+				worst = st
+			}
+		})
+		done = append(done, proc.Done())
+	}
+	for _, ev := range done {
+		p.Wait(ev)
+	}
+	return worst
+}
+
+// buildPRPs lays the slot's preallocated buffer out as PRP1/PRP2, writing
+// the slot's PRP list page when more than two pages are needed.
+func (d *Driver) buildPRPs(q *dq, slot uint16, nBytes int) (uint64, uint64) {
+	base := q.buf[slot]
+	pages := (nBytes + 4095) / 4096
+	switch {
+	case pages <= 1:
+		return base, 0
+	case pages == 2:
+		return base, base + 4096
+	default:
+		list := q.prpPg[slot]
+		for i := 1; i < pages; i++ {
+			d.h.Mem.WriteU64(list+uint64(i-1)*8, base+uint64(i)*4096)
+		}
+		return base, list
+	}
+}
+
+// --- BlockDevice adapter ---
+
+// BlockDev exposes the driver's namespace as a BlockDevice pinned to one
+// I/O queue (one per workload thread, like per-CPU queues).
+func (d *Driver) BlockDev(queue int) BlockDevice {
+	return &nvmeBlockDev{d: d, q: queue}
+}
+
+type nvmeBlockDev struct {
+	d *Driver
+	q int
+}
+
+func (b *nvmeBlockDev) BlockSize() int         { return nvme.LBASize }
+func (b *nvmeBlockDev) CapacityBlocks() uint64 { return b.d.nsBlocks }
+
+func (b *nvmeBlockDev) ReadAt(p *sim.Proc, lba uint64, blocks uint32, buf []byte) error {
+	return statusErr(b.d.IO(p, nvme.IORead, lba, blocks, buf, b.q))
+}
+
+func (b *nvmeBlockDev) WriteAt(p *sim.Proc, lba uint64, blocks uint32, data []byte) error {
+	return statusErr(b.d.IO(p, nvme.IOWrite, lba, blocks, data, b.q))
+}
+
+func (b *nvmeBlockDev) Flush(p *sim.Proc) error {
+	return statusErr(b.d.IO(p, nvme.IOFlush, 0, 0, nil, b.q))
+}
+
+func (b *nvmeBlockDev) PerIOCPU() sim.Time {
+	c := b.d.h.Kernel.PerIOCPU
+	if b.d.cfg.VM != nil {
+		c += b.d.cfg.VM.ExtraCPUPerIO
+	}
+	return c
+}
+
+func statusErr(st nvme.Status) error {
+	if st.IsError() {
+		return fmt.Errorf("nvme: status %#x", uint16(st))
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package host_test
+
+import (
+	"strings"
+	"testing"
+
+	"bmstore/internal/host"
+	"bmstore/internal/nvme"
+	"bmstore/internal/pcie"
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+)
+
+func TestDriverRejectsBadConfig(t *testing.T) {
+	env := sim.NewEnv(3)
+	h := host.New(env, 1<<30, host.CentOS("3.10.0"))
+	dev := ssd.New(env, ssd.P4510("X"))
+	port := h.Connect(pcie.NewLink(env, 4, 300), dev, nil)
+	dev.Attach(port)
+	var err error
+	env.Go("attach", func(p *sim.Proc) {
+		_, err = host.AttachDriver(p, h, port, 0, host.DriverConfig{Queues: 0, QueueDepth: 8})
+	})
+	env.Run()
+	if err == nil || !strings.Contains(err.Error(), "bad driver config") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDriverRequiresNamespace(t *testing.T) {
+	env := sim.NewEnv(3)
+	h := host.New(env, 768<<30, host.CentOS("3.10.0"))
+	dev := ssd.New(env, ssd.P4510("X"))
+	port := h.Connect(pcie.NewLink(env, 4, 300), dev, nil)
+	dev.Attach(port)
+	var err error
+	env.Go("attach", func(p *sim.Proc) {
+		cfg := host.DefaultDriverConfig() // CreateNSBlocks zero
+		_, err = host.AttachDriver(p, h, port, 0, cfg)
+	})
+	env.Run()
+	if err == nil || !strings.Contains(err.Error(), "no namespace") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOversizedIOPanics(t *testing.T) {
+	r := newNativeRig(t, host.CentOS("3.10.0"), nil, false)
+	var recovered any
+	r.env.Go("big", func(p *sim.Proc) {
+		defer func() { recovered = recover() }()
+		r.drv.IO(p, nvme.IORead, 0, 2048, nil, 0) // 8 MB > 1 MB max
+	})
+	r.env.Run()
+	if recovered == nil {
+		t.Fatal("oversized I/O did not panic")
+	}
+}
+
+func TestFlushThroughBlockDevice(t *testing.T) {
+	r := newNativeRig(t, host.CentOS("3.10.0"), nil, true)
+	r.env.Go("flush", func(p *sim.Proc) {
+		bd := r.drv.BlockDev(0)
+		if err := bd.WriteAt(p, 0, 1, make([]byte, 4096)); err != nil {
+			t.Error(err)
+		}
+		t0 := p.Now()
+		if err := bd.Flush(p); err != nil {
+			t.Error(err)
+		}
+		if p.Now() == t0 {
+			t.Error("flush consumed no time")
+		}
+	})
+	r.env.Run()
+}
+
+func TestSplitBytesInsideVM(t *testing.T) {
+	k := host.CentOS("3.10.0")
+	k.SplitBytes = 32 << 10
+	vm := host.KVMGuest()
+	r := newNativeRig(t, k, &vm, true)
+	r.env.Go("test", func(p *sim.Proc) {
+		bd := r.drv.BlockDev(0)
+		data := make([]byte, 128<<10)
+		for i := range data {
+			data[i] = byte(i >> 4)
+		}
+		if err := bd.WriteAt(p, 100, 32, data); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, len(data))
+		if err := bd.ReadAt(p, 100, 32, got); err != nil {
+			t.Error(err)
+		}
+		for i := range got {
+			if got[i] != data[i] {
+				t.Fatal("split VM I/O corrupted data")
+			}
+		}
+		// 128K / 32K = 4 split writes + 4 split reads at the device.
+		if r.dev.WriteStats.Ops != 4 || r.dev.ReadStats.Ops != 4 {
+			t.Fatalf("device ops r=%d w=%d, want 4/4", r.dev.ReadStats.Ops, r.dev.WriteStats.Ops)
+		}
+	})
+	r.env.Run()
+}
+
+func TestPerIOCPUReflectsVM(t *testing.T) {
+	vm := host.KVMGuest()
+	r := newNativeRig(t, host.CentOS("3.10.0"), &vm, false)
+	bare := newNativeRig(t, host.CentOS("3.10.0"), nil, false)
+	if r.drv.BlockDev(0).PerIOCPU() <= bare.drv.BlockDev(0).PerIOCPU() {
+		t.Fatal("VM per-IO CPU should exceed bare metal")
+	}
+}

@@ -1,0 +1,71 @@
+// Package host models the bare-metal server side of the evaluation: host
+// DRAM and root complex, kernel block-layer cost profiles, a standard NVMe
+// driver that talks to any NVMe-compatible function over PCIe (a raw SSD or
+// a BMS-Engine PF/VF — the driver cannot tell them apart, which is the
+// transparency claim), optional VM overhead, and the BlockDevice interface
+// the fio generator and the application models drive.
+package host
+
+import (
+	"bmstore/internal/hostmem"
+	"bmstore/internal/pcie"
+	"bmstore/internal/sim"
+)
+
+// Host is one physical server.
+type Host struct {
+	Env    *sim.Env
+	Mem    *hostmem.Memory
+	Root   *pcie.Root
+	Kernel KernelProfile
+
+	drivers map[portFn]*Driver
+}
+
+// portFn identifies one function on one link: several single-function
+// devices (SSDs) can coexist with a multi-function device (the BMS-Engine).
+type portFn struct {
+	port *pcie.Port
+	fn   pcie.FuncID
+}
+
+// Connect attaches a device below this host on the given link and wires
+// interrupt routing to whatever drivers later attach to its functions.
+// vdmUp, usually nil, receives vendor-defined messages the device sends
+// upstream (the MCTP path used by the management examples).
+func (h *Host) Connect(link *pcie.Link, dev pcie.RegDevice, vdmUp func([]byte)) *pcie.Port {
+	port := pcie.Connect(h.Env, link, h.Root, nil, vdmUp, dev)
+	port.SetIRQ(func(fn pcie.FuncID, vec int) {
+		if d := h.drivers[portFn{port, fn}]; d != nil {
+			d.IRQ(vec)
+		}
+	})
+	return port
+}
+
+// New returns a host with the given memory size and kernel.
+func New(env *sim.Env, memBytes uint64, kernel KernelProfile) *Host {
+	mem := hostmem.New(memBytes)
+	return &Host{
+		Env:    env,
+		Mem:    mem,
+		Root:   pcie.NewRoot(env, mem),
+		Kernel: kernel,
+	}
+}
+
+// BlockDevice is the host-visible disk abstraction workloads drive. A nil
+// buffer skips data movement into the model's sparse memory while still
+// paying full transfer time — benchmarks use it, applications pass data.
+type BlockDevice interface {
+	BlockSize() int
+	CapacityBlocks() uint64
+	// ReadAt/WriteAt block the calling process for the I/O's full latency.
+	ReadAt(p *sim.Proc, lba uint64, blocks uint32, buf []byte) error
+	WriteAt(p *sim.Proc, lba uint64, blocks uint32, data []byte) error
+	Flush(p *sim.Proc) error
+	// PerIOCPU is the CPU time a submitting thread burns per I/O without
+	// it appearing in that I/O's latency; workload drivers account it
+	// against their thread's CPU budget.
+	PerIOCPU() sim.Time
+}

@@ -1,0 +1,198 @@
+package mctp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// pair wires two endpoints back to back.
+func pair() (*Endpoint, *Endpoint, *[][]byte) {
+	var wire [][]byte
+	var a, b *Endpoint
+	a = NewEndpoint(0x10, func(raw []byte) {
+		wire = append(wire, raw)
+		b.Receive(raw)
+	})
+	b = NewEndpoint(0x20, func(raw []byte) { a.Receive(raw) })
+	return a, b, &wire
+}
+
+func TestSingleFragmentMessage(t *testing.T) {
+	a, b, _ := pair()
+	var got []byte
+	var gotType uint8
+	b.SetHandler(func(src, mt uint8, body []byte) {
+		gotType = mt
+		got = body
+		if src != 0x10 {
+			t.Errorf("src %#x", src)
+		}
+	})
+	a.Send(0x20, MsgTypeNVMeMI, []byte("hello"))
+	if gotType != MsgTypeNVMeMI || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("got type %#x body %q", gotType, got)
+	}
+}
+
+func TestMultiFragmentReassembly(t *testing.T) {
+	a, b, wire := pair()
+	msg := make([]byte, 1000)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	var got []byte
+	b.SetHandler(func(_, _ uint8, body []byte) { got = body })
+	a.Send(0x20, MsgTypeNVMeMI, msg)
+	if !bytes.Equal(got, msg) {
+		t.Fatal("reassembly mismatch")
+	}
+	// 1001 bytes of body over a 64-byte MTU = 16 packets.
+	if len(*wire) != 16 {
+		t.Fatalf("%d packets on the wire, want 16", len(*wire))
+	}
+	// Every packet fits the MTU and carries a valid header.
+	for i, raw := range *wire {
+		if len(raw) > MTU+4 {
+			t.Fatalf("packet %d oversize: %d", i, len(raw))
+		}
+		pk, err := DecodePacket(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pk.SOM != (i == 0) || pk.EOM != (i == len(*wire)-1) {
+			t.Fatalf("packet %d SOM/EOM wrong", i)
+		}
+		if pk.Seq != uint8(i)&3 {
+			t.Fatalf("packet %d seq %d", i, pk.Seq)
+		}
+	}
+}
+
+func TestWrongDestinationDropped(t *testing.T) {
+	b := NewEndpoint(0x20, nil)
+	called := false
+	b.SetHandler(func(_, _ uint8, _ []byte) { called = true })
+	pk := Packet{Dest: 0x99, Src: 0x10, SOM: true, EOM: true, Payload: []byte{MsgTypeNVMeMI, 1}}
+	b.Receive(pk.Encode())
+	if called || b.Dropped != 1 {
+		t.Fatalf("called=%v dropped=%d", called, b.Dropped)
+	}
+}
+
+func TestHeadlessFragmentDropped(t *testing.T) {
+	b := NewEndpoint(0x20, nil)
+	pk := Packet{Dest: 0x20, Src: 0x10, SOM: false, EOM: true, Payload: []byte{1, 2}}
+	b.Receive(pk.Encode())
+	if b.Dropped != 1 {
+		t.Fatalf("dropped=%d", b.Dropped)
+	}
+}
+
+func TestOutOfSequenceDropsAssembly(t *testing.T) {
+	b := NewEndpoint(0x20, nil)
+	ok := false
+	b.SetHandler(func(_, _ uint8, _ []byte) { ok = true })
+	p1 := Packet{Dest: 0x20, Src: 0x10, SOM: true, Seq: 0, Tag: 1, Payload: bytes.Repeat([]byte{1}, MTU)}
+	p3 := Packet{Dest: 0x20, Src: 0x10, EOM: true, Seq: 2, Tag: 1, Payload: []byte{2}}
+	b.Receive(p1.Encode())
+	b.Receive(p3.Encode()) // seq 2 after 0: gap
+	if ok || b.Dropped != 1 {
+		t.Fatalf("ok=%v dropped=%d", ok, b.Dropped)
+	}
+}
+
+func TestInterleavedTagsReassembleIndependently(t *testing.T) {
+	b := NewEndpoint(0x20, nil)
+	var got [][]byte
+	b.SetHandler(func(_, _ uint8, body []byte) { got = append(got, body) })
+	mk := func(tag uint8, som, eom bool, seq uint8, pay byte, n int) []byte {
+		return (&Packet{Dest: 0x20, Src: 0x10, SOM: som, EOM: eom, Seq: seq, Tag: tag,
+			Payload: bytes.Repeat([]byte{pay}, n)}).Encode()
+	}
+	// Interleave two messages with different tags.
+	b.Receive(mk(1, true, false, 0, 0xAA, MTU))
+	b.Receive(mk(2, true, false, 0, 0xBB, MTU))
+	b.Receive(mk(1, false, true, 1, 0xAA, 4))
+	b.Receive(mk(2, false, true, 1, 0xBB, 8))
+	if len(got) != 2 {
+		t.Fatalf("%d messages", len(got))
+	}
+	if len(got[0]) != MTU+4-1 || got[0][0] != 0xAA {
+		t.Fatalf("msg0 %d bytes", len(got[0]))
+	}
+	if len(got[1]) != MTU+8-1 || got[1][0] != 0xBB {
+		t.Fatalf("msg1 %d bytes", len(got[1]))
+	}
+}
+
+func TestTruncatedAndBadVersionPackets(t *testing.T) {
+	b := NewEndpoint(0x20, nil)
+	b.Receive([]byte{1, 2})
+	raw := (&Packet{Dest: 0x20, Src: 1, SOM: true, EOM: true, Payload: []byte{4}}).Encode()
+	raw[0] = 0x05 // bad version
+	b.Receive(raw)
+	if b.Dropped != 2 {
+		t.Fatalf("dropped=%d", b.Dropped)
+	}
+}
+
+// Property: any payload survives fragmentation + reassembly byte-exact, in
+// ceil((len+1)/64) packets.
+func TestFragmentationRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, mt uint8) bool {
+		var got []byte
+		gotAny := false
+		var b *Endpoint
+		a := NewEndpoint(1, func(raw []byte) { b.Receive(raw) })
+		b = NewEndpoint(2, nil)
+		b.SetHandler(func(_, m uint8, body []byte) {
+			gotAny = true
+			got = body
+			if m != mt&0x7F {
+				got = nil
+			}
+		})
+		a.Send(2, mt&0x7F, payload)
+		return gotAny && bytes.Equal(got, payload) && b.Dropped == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(dst, src, seq, tag uint8, som, eom, to bool, pay []byte) bool {
+		if len(pay) > MTU {
+			pay = pay[:MTU]
+		}
+		pk := Packet{Dest: dst, Src: src, SOM: som, EOM: eom, Seq: seq & 3,
+			Tag: tag & 7, TO: to, Payload: pay}
+		got, err := DecodePacket(pk.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Dest == pk.Dest && got.Src == pk.Src && got.SOM == pk.SOM &&
+			got.EOM == pk.EOM && got.Seq == pk.Seq && got.Tag == pk.Tag &&
+			got.TO == pk.TO && bytes.Equal(got.Payload, pk.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMIMessageRoundTrip(t *testing.T) {
+	m := MIMessage{Response: true, Opcode: MIVendorCreateNS, Status: MIStatusSuccess,
+		RequestID: 0x1234, Payload: []byte(`{"name":"vol0"}`)}
+	got, err := DecodeMI(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Opcode != m.Opcode || !got.Response || got.RequestID != 0x1234 ||
+		!bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := DecodeMI([]byte{1, 2}); err == nil {
+		t.Fatal("short MI message accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package mctp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MsgTypeNVMeMI is the MCTP message type of NVMe Management Interface
+// traffic.
+const MsgTypeNVMeMI = 0x04
+
+// NVMe-MI opcodes: the standard ones the controller answers plus the
+// BM-Store vendor range that carries namespace, QoS and maintenance
+// management (vendor-specific opcodes start at 0xC0 per NVMe-MI).
+const (
+	MIReadDataStructure   = 0x00
+	MISubsystemHealthPoll = 0x01
+	MIControllerHealth    = 0x02
+
+	MIVendorInventory   = 0xC0
+	MIVendorCreateNS    = 0xC1
+	MIVendorDestroyNS   = 0xC2
+	MIVendorBindNS      = 0xC3
+	MIVendorUnbindNS    = 0xC4
+	MIVendorSetQoS      = 0xC5
+	MIVendorCounters    = 0xC6
+	MIVendorHotUpgrade  = 0xC7
+	MIVendorHotPlugPrep = 0xC8
+	MIVendorHotPlugDone = 0xC9
+	MIVendorMonitorRead = 0xCA
+	MIVendorVersion     = 0xCB
+)
+
+// MI status codes.
+const (
+	MIStatusSuccess     = 0x00
+	MIStatusInvalidOp   = 0x03
+	MIStatusInvalidParm = 0x04
+	MIStatusInternal    = 0x21
+)
+
+// MIMessage is one NVMe-MI request or response. The header is binary
+// (opcode, flags, request id, status); vendor payloads are JSON documents
+// for inspectability, standard payloads are binary per the spec's layouts.
+type MIMessage struct {
+	Response  bool
+	Opcode    uint8
+	Status    uint8
+	RequestID uint16
+	Payload   []byte
+}
+
+// Encode serialises the MI message body (without the MCTP message type,
+// which Endpoint.Send adds).
+func (m *MIMessage) Encode() []byte {
+	b := make([]byte, 6+len(m.Payload))
+	b[0] = m.Opcode
+	if m.Response {
+		b[1] |= 0x80
+	}
+	b[2] = m.Status
+	binary.LittleEndian.PutUint16(b[3:], m.RequestID)
+	// b[5] reserved
+	copy(b[6:], m.Payload)
+	return b
+}
+
+// DecodeMI parses an MI message body.
+func DecodeMI(b []byte) (MIMessage, error) {
+	if len(b) < 6 {
+		return MIMessage{}, fmt.Errorf("mctp: MI message too short (%d bytes)", len(b))
+	}
+	return MIMessage{
+		Opcode:    b[0],
+		Response:  b[1]&0x80 != 0,
+		Status:    b[2],
+		RequestID: binary.LittleEndian.Uint16(b[3:]),
+		Payload:   append([]byte(nil), b[6:]...),
+	}, nil
+}

@@ -1,0 +1,102 @@
+package nvme
+
+import "encoding/binary"
+
+// Identify CNS values.
+const (
+	CNSNamespace    = 0x00
+	CNSController   = 0x01
+	CNSActiveNSList = 0x02
+)
+
+// IdentifyPageSize is the size of identify data structures.
+const IdentifyPageSize = 4096
+
+// LBASize is the logical block size used throughout this implementation.
+// The paper's fio workloads use 4K-aligned I/O, so a single 4K LBA format
+// keeps the model faithful where it matters.
+const LBASize = 4096
+
+// IdentifyController is the subset of the 4K identify-controller structure
+// that the host driver, engine and management plane consume.
+type IdentifyController struct {
+	VID           uint16
+	SSVID         uint16
+	Serial        string // 20 bytes, space padded
+	Model         string // 40 bytes, space padded
+	Firmware      string // 8 bytes, space padded
+	NN            uint32 // number of namespaces supported
+	TotalCapBytes uint64 // TNVMCAP (low 8 bytes)
+}
+
+// Encode fills a 4K identify page.
+func (ic *IdentifyController) Encode(b []byte) {
+	le := binary.LittleEndian
+	le.PutUint16(b[0:], ic.VID)
+	le.PutUint16(b[2:], ic.SSVID)
+	padCopy(b[4:24], ic.Serial)
+	padCopy(b[24:64], ic.Model)
+	padCopy(b[64:72], ic.Firmware)
+	le.PutUint64(b[280:], ic.TotalCapBytes)
+	le.PutUint32(b[516:], ic.NN)
+}
+
+// DecodeIdentifyController parses an identify-controller page.
+func DecodeIdentifyController(b []byte) IdentifyController {
+	le := binary.LittleEndian
+	return IdentifyController{
+		VID:           le.Uint16(b[0:]),
+		SSVID:         le.Uint16(b[2:]),
+		Serial:        trimPad(b[4:24]),
+		Model:         trimPad(b[24:64]),
+		Firmware:      trimPad(b[64:72]),
+		NN:            le.Uint32(b[516:]),
+		TotalCapBytes: le.Uint64(b[280:]),
+	}
+}
+
+// IdentifyNamespace is the subset of the identify-namespace structure the
+// stack consumes. Sizes are in logical blocks.
+type IdentifyNamespace struct {
+	NSZE uint64 // namespace size
+	NCAP uint64 // capacity
+	NUSE uint64 // utilisation
+}
+
+// Encode fills a 4K identify page. LBA format 0 is fixed at 4K data size.
+func (in *IdentifyNamespace) Encode(b []byte) {
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], in.NSZE)
+	le.PutUint64(b[8:], in.NCAP)
+	le.PutUint64(b[16:], in.NUSE)
+	// LBAF0 at offset 128: LBADS=12 (4K), MS=0.
+	le.PutUint32(b[128:], 12<<16)
+}
+
+// DecodeIdentifyNamespace parses an identify-namespace page.
+func DecodeIdentifyNamespace(b []byte) IdentifyNamespace {
+	le := binary.LittleEndian
+	return IdentifyNamespace{
+		NSZE: le.Uint64(b[0:]),
+		NCAP: le.Uint64(b[8:]),
+		NUSE: le.Uint64(b[16:]),
+	}
+}
+
+func padCopy(dst []byte, s string) {
+	for i := range dst {
+		if i < len(s) {
+			dst[i] = s[i]
+		} else {
+			dst[i] = ' '
+		}
+	}
+}
+
+func trimPad(b []byte) string {
+	end := len(b)
+	for end > 0 && (b[end-1] == ' ' || b[end-1] == 0) {
+		end--
+	}
+	return string(b[:end])
+}

@@ -1,0 +1,50 @@
+package nvme
+
+// Doorbell register layout on BAR0 (CAP.DSTRD = 0): submission queue y's
+// tail doorbell at 0x1000 + 2y*4, completion queue y's head doorbell at
+// 0x1000 + (2y+1)*4.
+const DoorbellBase = 0x1000
+
+// SQDoorbell returns the BAR offset of submission queue qid's tail doorbell.
+func SQDoorbell(qid uint16) uint64 { return DoorbellBase + uint64(qid)*8 }
+
+// CQDoorbell returns the BAR offset of completion queue qid's head doorbell.
+func CQDoorbell(qid uint16) uint64 { return DoorbellBase + uint64(qid)*8 + 4 }
+
+// DoorbellQueue decodes a BAR offset back into (qid, isCQ). ok is false for
+// offsets outside the doorbell window.
+func DoorbellQueue(off uint64) (qid uint16, isCQ bool, ok bool) {
+	if off < DoorbellBase || off%4 != 0 {
+		return 0, false, false
+	}
+	idx := (off - DoorbellBase) / 4
+	return uint16(idx / 2), idx%2 == 1, true
+}
+
+// Ring describes one queue ring in memory: a base physical address and a
+// fixed entry count. Head/tail indices live with the ring's owner.
+type Ring struct {
+	Base    uint64
+	Entries uint32
+	EntrySz uint32
+}
+
+// SlotAddr returns the physical address of entry idx.
+func (r Ring) SlotAddr(idx uint32) uint64 {
+	return r.Base + uint64(idx%r.Entries)*uint64(r.EntrySz)
+}
+
+// Next returns the index after idx with wraparound.
+func (r Ring) Next(idx uint32) uint32 { return (idx + 1) % r.Entries }
+
+// Dist returns how many entries lie between head and tail (tail - head,
+// modulo ring size): the number of occupied slots in a submission queue.
+func (r Ring) Dist(head, tail uint32) uint32 {
+	return (tail + r.Entries - head) % r.Entries
+}
+
+// Full reports whether advancing tail would collide with head (the NVMe
+// convention keeps one slot empty).
+func (r Ring) Full(head, tail uint32) bool {
+	return r.Next(tail) == head
+}

@@ -1,0 +1,243 @@
+// Package pcie models the PCIe interconnect the BM-Store architecture lives
+// on: full-duplex links with per-lane bandwidth and propagation latency,
+// TLP framing overhead, posted register (doorbell) writes, device-initiated
+// DMA, MSI-style interrupts, and vendor-defined messages (the MCTP
+// transport).
+//
+// Topology is composed from Port values: a port's upstream side is any
+// DMATarget, so a root complex, or a bridge such as the BMS-Engine that
+// rewrites DMA addresses (the paper's DMA-request-routing mechanism), can
+// sit above a device interchangeably. This is exactly the property that
+// lets BM-Store splice itself between the host and the SSDs transparently.
+package pcie
+
+import (
+	"fmt"
+
+	"bmstore/internal/hostmem"
+	"bmstore/internal/sim"
+)
+
+// FuncID identifies one PCIe function (PF or VF) of a device. The paper's
+// global-PRP tag reserves 7 bits for it, so valid values are 0..127.
+type FuncID uint8
+
+// MaxFunctions is the number of functions addressable by the 7-bit global
+// PRP function tag (4 PFs + 124 VFs in the paper's BMS-Engine).
+const MaxFunctions = 128
+
+// Gen3 lane payload rate: 8 GT/s with 128b/130b encoding, in bytes/second.
+const LaneBytesPerSec = 984.6e6
+
+// TLP framing constants: 256-byte max payload per TLP with ~26 bytes of
+// header, sequence, LCRC and framing per packet.
+const (
+	MaxPayload = 256
+	TLPHeader  = 26
+)
+
+// DRAMLatency is the host-memory access latency seen by inbound DMA.
+const DRAMLatency = 90 * sim.Nanosecond
+
+// WireBytes returns the number of bytes n bytes of payload occupy on the
+// wire once split into TLPs.
+func WireBytes(n int) int64 {
+	if n <= 0 {
+		return TLPHeader // a zero-length or header-only transaction
+	}
+	tlps := (n + MaxPayload - 1) / MaxPayload
+	return int64(n) + int64(tlps)*TLPHeader
+}
+
+// Link is a full-duplex point-to-point PCIe link. Each direction has its
+// own bandwidth pacer; Latency is the one-way propagation plus PHY delay.
+type Link struct {
+	env     *sim.Env
+	toHost  *sim.Pacer // traffic flowing upstream (device -> root)
+	toDev   *sim.Pacer // traffic flowing downstream (root -> device)
+	Latency sim.Time
+	lanes   int
+}
+
+// NewLink returns a Gen3 link with the given lane count.
+func NewLink(env *sim.Env, lanes int, latency sim.Time) *Link {
+	if lanes <= 0 {
+		panic("pcie: link needs at least one lane")
+	}
+	bw := float64(lanes) * LaneBytesPerSec
+	return &Link{
+		env:     env,
+		toHost:  sim.NewPacer(env, bw),
+		toDev:   sim.NewPacer(env, bw),
+		Latency: latency,
+		lanes:   lanes,
+	}
+}
+
+// Lanes returns the configured lane count.
+func (l *Link) Lanes() int { return l.lanes }
+
+// DMATarget is anything that accepts inbound memory TLPs: a root complex
+// backed by host DRAM, or a bridge that rewrites and forwards them. Both
+// methods book bandwidth on the target's own path and return the virtual
+// time at which the transaction completes; they never block, so initiators
+// can pipeline transfers and sleep only when they need completion order.
+//
+// A nil data/buf skips content transfer (time is still modelled from n);
+// the fio engines use this to avoid copying payload bytes they never read.
+type DMATarget interface {
+	// DMAWrite stores n bytes at physical address addr.
+	DMAWrite(addr uint64, n int, data []byte) sim.Time
+	// DMARead fetches n bytes from physical address addr into buf.
+	DMARead(addr uint64, n int, buf []byte) sim.Time
+}
+
+// RegDevice receives posted register writes (doorbells) addressed to one of
+// its functions. Calls arrive in scheduler context after the wire delay.
+type RegDevice interface {
+	RegWrite(fn FuncID, offset uint64, val uint64)
+}
+
+// VDMHandler receives PCIe vendor-defined messages (the MCTP transport).
+type VDMHandler interface {
+	VDMReceive(pkt []byte)
+}
+
+// Port is one end of a link from the device's perspective: it carries
+// doorbells down to the device and DMA/interrupts/VDMs up to whatever the
+// device is attached to.
+type Port struct {
+	env      *sim.Env
+	link     *Link
+	upstream DMATarget
+	irq      func(fn FuncID, vector int)
+	vdmUp    func(pkt []byte)
+	dev      RegDevice
+}
+
+// Connect wires a device beneath an upstream target. irq and vdmUp may be
+// nil if the upstream side does not accept interrupts or messages; dev may
+// be nil for ports used only as DMA initiators.
+func Connect(env *sim.Env, link *Link, upstream DMATarget, irq func(FuncID, int), vdmUp func([]byte), dev RegDevice) *Port {
+	if link == nil {
+		panic("pcie: nil link")
+	}
+	return &Port{env: env, link: link, upstream: upstream, irq: irq, vdmUp: vdmUp, dev: dev}
+}
+
+// Link returns the underlying link (for tests and monitors).
+func (pt *Port) Link() *Link { return pt.link }
+
+// SetIRQ installs (or replaces) the upstream interrupt handler. It exists
+// for late binding: a host can create the port first and wire the handler
+// once its driver structures exist.
+func (pt *Port) SetIRQ(fn func(FuncID, int)) { pt.irq = fn }
+
+// --- Host-side operations (called by whatever is above the link) ---
+
+// MMIOWrite posts a register write to the device function. Posted writes do
+// not block the caller; the device sees the write after the wire delay.
+func (pt *Port) MMIOWrite(fn FuncID, offset uint64, val uint64) {
+	if pt.dev == nil {
+		panic("pcie: MMIO write to port with no device")
+	}
+	done := pt.link.toDev.Reserve(WireBytes(4))
+	delay := done - pt.env.Now() + pt.link.Latency
+	pt.env.Schedule(delay, func() { pt.dev.RegWrite(fn, offset, val) })
+}
+
+// VDMToDevice delivers a vendor-defined message to the device after the
+// wire delay. The device must implement VDMHandler.
+func (pt *Port) VDMToDevice(pkt []byte) {
+	h, ok := pt.dev.(VDMHandler)
+	if !ok {
+		panic(fmt.Sprintf("pcie: device %T does not accept VDMs", pt.dev))
+	}
+	cp := append([]byte(nil), pkt...)
+	done := pt.link.toDev.Reserve(WireBytes(len(cp)))
+	delay := done - pt.env.Now() + pt.link.Latency
+	pt.env.Schedule(delay, func() { h.VDMReceive(cp) })
+}
+
+// --- Device-side operations (called by the device below the link) ---
+
+// DMAWrite sends a posted memory write upstream: it books this link's
+// upstream direction, then the upstream target's own path, and returns the
+// completion time of the whole transaction.
+func (pt *Port) DMAWrite(addr uint64, n int, data []byte) sim.Time {
+	wire := pt.link.toHost.Reserve(WireBytes(n))
+	up := pt.upstream.DMAWrite(addr, n, data)
+	return maxTime(wire, up) + pt.link.Latency
+}
+
+// DMARead fetches memory from upstream: a small request TLP travels up and
+// completion TLPs carry the data down, so the payload books the downstream
+// direction of this link.
+func (pt *Port) DMARead(addr uint64, n int, buf []byte) sim.Time {
+	up := pt.upstream.DMARead(addr, n, buf)
+	wire := pt.link.toDev.Reserve(WireBytes(n))
+	// Request travels up (one latency), data comes back down (another).
+	return maxTime(wire, up) + 2*pt.link.Latency
+}
+
+// RaiseIRQ signals an MSI-style interrupt for function fn after the wire
+// delay. No-op if the upstream side registered no handler.
+func (pt *Port) RaiseIRQ(fn FuncID, vector int) {
+	if pt.irq == nil {
+		return
+	}
+	done := pt.link.toHost.Reserve(WireBytes(4))
+	delay := done - pt.env.Now() + pt.link.Latency
+	pt.env.Schedule(delay, func() { pt.irq(fn, vector) })
+}
+
+// VDMToHost sends a vendor-defined message upstream.
+func (pt *Port) VDMToHost(pkt []byte) {
+	if pt.vdmUp == nil {
+		panic("pcie: upstream side accepts no VDMs")
+	}
+	cp := append([]byte(nil), pkt...)
+	done := pt.link.toHost.Reserve(WireBytes(len(cp)))
+	delay := done - pt.env.Now() + pt.link.Latency
+	pt.env.Schedule(delay, func() { pt.vdmUp(cp) })
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Root is a host root complex: the DMATarget backed by host DRAM.
+type Root struct {
+	env *sim.Env
+	Mem *hostmem.Memory
+}
+
+// NewRoot returns a root complex over the given memory.
+func NewRoot(env *sim.Env, mem *hostmem.Memory) *Root {
+	return &Root{env: env, Mem: mem}
+}
+
+// DMAWrite implements DMATarget.
+func (r *Root) DMAWrite(addr uint64, n int, data []byte) sim.Time {
+	if data != nil {
+		if len(data) != n {
+			panic("pcie: DMA length mismatch")
+		}
+		r.Mem.Write(addr, data)
+	}
+	return r.env.Now() + DRAMLatency
+}
+
+// DMARead implements DMATarget.
+func (r *Root) DMARead(addr uint64, n int, buf []byte) sim.Time {
+	if buf != nil {
+		if len(buf) != n {
+			panic("pcie: DMA length mismatch")
+		}
+		r.Mem.Read(addr, buf)
+	}
+	return r.env.Now() + DRAMLatency
+}

@@ -1,0 +1,112 @@
+// Package remote implements the paper's stated future work (§VI-D):
+// extending BM-Store beyond local disks to remote storage, in the spirit
+// of LeapIO's local/remote unification and ReFlex-style remote flash. A
+// remote backend keeps the exact same front-end contract — tenants see a
+// standard BM-Store NVMe namespace — while the medium behind the engine's
+// host adaptor is a flash target across a datacenter network.
+//
+// The model: a full-duplex network path (bandwidth pacers + propagation
+// RTT) in front of a remote flash target with its own die pool and
+// bandwidth regulators, plus a fixed target-side software cost per I/O
+// (the remote NVMe-oF target stack).
+package remote
+
+import (
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+)
+
+// NetProfile describes the network path to the target.
+type NetProfile struct {
+	RTT       sim.Time // propagation round trip
+	Bandwidth float64  // per-direction bytes/s
+	PerIOCost sim.Time // target-side stack cost per I/O
+}
+
+// DatacenterTCP is a same-DC 25 GbE path through a kernel target.
+func DatacenterTCP() NetProfile {
+	return NetProfile{
+		RTT:       90 * sim.Microsecond,
+		Bandwidth: 2.9e9, // 25 GbE with protocol overhead, per direction
+		PerIOCost: 12 * sim.Microsecond,
+	}
+}
+
+// RDMA is a same-rack RoCE path through an offloaded target.
+func RDMA() NetProfile {
+	return NetProfile{
+		RTT:       14 * sim.Microsecond,
+		Bandwidth: 5.8e9, // 50 GbE
+		PerIOCost: 3 * sim.Microsecond,
+	}
+}
+
+// Media is a remote flash target satisfying ssd.Media: requests cross the
+// network, queue on the remote device's die pool and bandwidth
+// regulators, and the payload returns over the wire.
+type Media struct {
+	env   *sim.Env
+	net   NetProfile
+	tx    *sim.Pacer // toward the target
+	rx    *sim.Pacer // back from the target
+	dies  *sim.Resource
+	read  *sim.Pacer
+	writ  *sim.Pacer
+	flash ssd.Config
+}
+
+// NewMedia builds a remote target whose flash characteristics come from
+// the given device config (e.g. ssd.P4510) behind the given network.
+func NewMedia(env *sim.Env, flash ssd.Config, net NetProfile) *Media {
+	return &Media{
+		env:   env,
+		net:   net,
+		tx:    sim.NewPacer(env, net.Bandwidth),
+		rx:    sim.NewPacer(env, net.Bandwidth),
+		dies:  sim.NewResource(env, flash.Dies),
+		read:  sim.NewPacer(env, flash.ReadBandwidth),
+		writ:  sim.NewPacer(env, flash.WriteBandwidth),
+		flash: flash,
+	}
+}
+
+// Read implements ssd.Media: request out, remote NAND, payload back.
+func (m *Media) Read(p *sim.Proc, _ uint64, n int) {
+	m.tx.Transfer(p, 96) // request capsule
+	p.Sleep(m.net.RTT/2 + m.net.PerIOCost)
+	stripes := (n + m.flash.StripeBytes - 1) / m.flash.StripeBytes
+	for i := 0; i < stripes; i++ {
+		// Remote stripes serialise through this command's context; the
+		// die pool still bounds cross-command parallelism.
+		m.dies.Use(p, m.flash.NANDReadLatency/sim.Time(stripes), nil)
+	}
+	m.read.Transfer(p, int64(n))
+	m.rx.Transfer(p, int64(n)+96)
+	p.Sleep(m.net.RTT / 2)
+}
+
+// Write implements ssd.Media: payload out, remote cache admit, ack back.
+func (m *Media) Write(p *sim.Proc, _ uint64, n int) {
+	m.tx.Transfer(p, int64(n)+96)
+	p.Sleep(m.net.RTT/2 + m.net.PerIOCost)
+	m.writ.Transfer(p, int64(n))
+	p.Sleep(m.flash.WriteCacheLatency)
+	m.rx.Transfer(p, 64)
+	p.Sleep(m.net.RTT / 2)
+}
+
+// Flush implements ssd.Media.
+func (m *Media) Flush(p *sim.Proc) {
+	m.tx.Transfer(p, 64)
+	p.Sleep(m.net.RTT + m.net.PerIOCost + m.flash.FlushLatency)
+}
+
+// BackendConfig returns an ssd.Config presenting this remote target as a
+// BM-Store backend: attach it with engine.AttachBackend like any disk.
+func BackendConfig(env *sim.Env, serial string, flash ssd.Config, net NetProfile) ssd.Config {
+	cfg := flash
+	cfg.Serial = serial
+	cfg.Model = "BM-Store Remote Target (NVMe-oF)"
+	cfg.Media = NewMedia(env, flash, net)
+	return cfg
+}

@@ -1,0 +1,118 @@
+package remote_test
+
+import (
+	"testing"
+
+	"bmstore"
+	"bmstore/internal/fio"
+	"bmstore/internal/host"
+	"bmstore/internal/remote"
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+)
+
+// remoteTestbed puts one remote target behind the BMS-Engine.
+func remoteTestbed(net remote.NetProfile) *bmstore.Testbed {
+	c := bmstore.DefaultConfig()
+	c.NumSSDs = 1
+	c.SSDWithEnv = func(e *sim.Env, i int) ssd.Config {
+		return remote.BackendConfig(e, "RMT00001", ssd.P4510("RMT00001"), net)
+	}
+	return bmstore.NewBMStoreTestbed(c)
+}
+
+func runCase(t *testing.T, tb *bmstore.Testbed, spec fio.Spec) *fio.Result {
+	t.Helper()
+	var res *fio.Result
+	tb.Run(func(p *sim.Proc) {
+		if err := tb.Console.CreateNamespace(p, "rvol", 256<<30, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Console.Bind(p, "rvol", 0); err != nil {
+			t.Fatal(err)
+		}
+		drv, err := tb.AttachTenant(p, 0, host.DefaultDriverConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs := make([]host.BlockDevice, spec.NumJobs)
+		for i := range devs {
+			devs[i] = drv.BlockDev(i)
+		}
+		res = fio.Run(p, devs, spec)
+	})
+	return res
+}
+
+func TestRemoteTCPLatencyIncludesNetwork(t *testing.T) {
+	res := runCase(t, remoteTestbed(remote.DatacenterTCP()), fio.Spec{
+		Name: "r1", Pattern: fio.RandRead, BlockSize: 4096,
+		IODepth: 1, NumJobs: 1, Ramp: sim.Millisecond, Runtime: 20 * sim.Millisecond,
+	})
+	lat := res.AvgLatencyUS()
+	// Local BM-Store path ~80us + 90us RTT + 12us target stack + wire.
+	if lat < 165 || lat > 215 {
+		t.Fatalf("remote TCP QD1 read %.1fus, want ~185", lat)
+	}
+}
+
+func TestRemoteRDMAFasterThanTCP(t *testing.T) {
+	spec := fio.Spec{Name: "r", Pattern: fio.RandRead, BlockSize: 4096,
+		IODepth: 1, NumJobs: 1, Ramp: sim.Millisecond, Runtime: 20 * sim.Millisecond}
+	tcp := runCase(t, remoteTestbed(remote.DatacenterTCP()), spec)
+	rdma := runCase(t, remoteTestbed(remote.RDMA()), spec)
+	if rdma.AvgLatencyUS() >= tcp.AvgLatencyUS() {
+		t.Fatalf("RDMA %.1fus not faster than TCP %.1fus", rdma.AvgLatencyUS(), tcp.AvgLatencyUS())
+	}
+	// RDMA within ~25us of the local path's ~80us.
+	if rdma.AvgLatencyUS() > 130 {
+		t.Fatalf("RDMA QD1 read %.1fus, want ~100", rdma.AvgLatencyUS())
+	}
+}
+
+func TestRemoteBandwidthNetworkBound(t *testing.T) {
+	res := runCase(t, remoteTestbed(remote.DatacenterTCP()), fio.Spec{
+		Name: "rseq", Pattern: fio.SeqRead, BlockSize: 128 << 10,
+		IODepth: 64, NumJobs: 4, Ramp: 100 * sim.Millisecond, Runtime: 400 * sim.Millisecond,
+	})
+	bw := res.BandwidthMBs()
+	// The 2.9 GB/s network, not the 3.31 GB/s flash, is the ceiling.
+	if bw < 2500 || bw > 3000 {
+		t.Fatalf("remote seq read %.0f MB/s, want ~2800 (network bound)", bw)
+	}
+}
+
+func TestRemoteDataIntegrity(t *testing.T) {
+	c := bmstore.DefaultConfig()
+	c.NumSSDs = 1
+	c.CaptureData = true
+	c.SSDWithEnv = func(e *sim.Env, i int) ssd.Config {
+		return remote.BackendConfig(e, "RMT00001", ssd.P4510("RMT00001"), remote.RDMA())
+	}
+	tb := bmstore.NewBMStoreTestbed(c)
+	tb.Run(func(p *sim.Proc) {
+		tb.Console.CreateNamespace(p, "rvol", 128<<30, []int{0})
+		tb.Console.Bind(p, "rvol", 0)
+		drv, err := tb.AttachTenant(p, 0, host.DefaultDriverConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd := drv.BlockDev(0)
+		data := make([]byte, 2*4096)
+		for i := range data {
+			data[i] = byte(i * 11)
+		}
+		if err := bd.WriteAt(p, 77, 2, data); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if err := bd.ReadAt(p, 77, 2, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != data[i] {
+				t.Fatal("remote path corrupted data")
+			}
+		}
+	})
+}

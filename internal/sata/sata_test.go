@@ -1,0 +1,132 @@
+package sata_test
+
+import (
+	"fmt"
+	"testing"
+
+	"bmstore"
+	"bmstore/internal/fio"
+	"bmstore/internal/host"
+	"bmstore/internal/sata"
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+)
+
+// hddTestbed puts one bridged SATA HDD behind the BMS-Engine.
+func hddTestbed() (*bmstore.Testbed, *sata.Media) {
+	var media *sata.Media
+	c := bmstore.DefaultConfig()
+	c.NumSSDs = 1
+	c.SSDWithEnv = func(e *sim.Env, i int) ssd.Config {
+		sc, m := sata.BridgeConfig(e, fmt.Sprintf("HDD%03d", i), sata.Enterprise7200())
+		media = m
+		return sc
+	}
+	return bmstore.NewBMStoreTestbed(c), media
+}
+
+func TestHDDBehindEngineIsTransparent(t *testing.T) {
+	tb, _ := hddTestbed()
+	tb.Run(func(p *sim.Proc) {
+		if err := tb.Console.CreateNamespace(p, "cold0", 512<<30, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Console.Bind(p, "cold0", 0); err != nil {
+			t.Fatal(err)
+		}
+		drv, err := tb.AttachTenant(p, 0, host.DefaultDriverConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The tenant still sees a standard BM-Store NVMe disk: the SATA
+		// nature of the backend is invisible (§VI-A's claim).
+		if got := drv.Identity().Model; got != "BM-Store Virtual NVMe Disk" {
+			t.Fatalf("tenant sees %q", got)
+		}
+		// I/O works; the inventory shows the bridged drive to the operator.
+		if err := drv.BlockDev(0).WriteAt(p, 0, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		inv, err := tb.Console.Inventory(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv.Backends[0].Model != "SEAGATE EXOS 7E8 (SATA, bridged)" {
+			t.Fatalf("operator sees %q", inv.Backends[0].Model)
+		}
+	})
+}
+
+func TestHDDRandomVsSequentialCharacter(t *testing.T) {
+	tb, media := hddTestbed()
+	var randIOPS, seqMBs float64
+	tb.Run(func(p *sim.Proc) {
+		tb.Console.CreateNamespace(p, "cold0", 512<<30, []int{0})
+		tb.Console.Bind(p, "cold0", 0)
+		drv, err := tb.AttachTenant(p, 0, host.DefaultDriverConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs := []host.BlockDevice{drv.BlockDev(0)}
+		r1 := fio.Run(p, devs, fio.Spec{Name: "hdd-rand", Pattern: fio.RandRead,
+			BlockSize: 4096, IODepth: 1, NumJobs: 1,
+			Ramp: 50 * sim.Millisecond, Runtime: 2 * sim.Second})
+		randIOPS = r1.IOPS()
+		r2 := fio.Run(p, devs, fio.Spec{Name: "hdd-seq", Pattern: fio.SeqRead,
+			BlockSize: 128 << 10, IODepth: 4, NumJobs: 1,
+			Ramp: 50 * sim.Millisecond, Runtime: 2 * sim.Second})
+		seqMBs = r2.BandwidthMBs()
+	})
+	// A 7200 rpm drive: ~100-150 random IOPS, ~200 MB/s sequential.
+	if randIOPS < 60 || randIOPS > 220 {
+		t.Fatalf("HDD random read %.0f IOPS, want ~100-150", randIOPS)
+	}
+	if seqMBs < 150 || seqMBs > 230 {
+		t.Fatalf("HDD sequential read %.0f MB/s, want ~200", seqMBs)
+	}
+	if media.Seeks == 0 || media.SequentialHits == 0 {
+		t.Fatalf("media stats seeks=%d seqhits=%d", media.Seeks, media.SequentialHits)
+	}
+}
+
+func TestMixedFlashAndSATABackends(t *testing.T) {
+	// One flash SSD and one bridged HDD behind the same engine: the
+	// tiered-storage deployment §VI-A motivates.
+	c := bmstore.DefaultConfig()
+	c.NumSSDs = 2
+	c.SSDWithEnv = func(e *sim.Env, i int) ssd.Config {
+		if i == 0 {
+			return ssd.P4510("FLASH000")
+		}
+		sc, _ := sata.BridgeConfig(e, "HDD00001", sata.Enterprise7200())
+		return sc
+	}
+	tb := bmstore.NewBMStoreTestbed(c)
+	tb.Run(func(p *sim.Proc) {
+		tb.Console.CreateNamespace(p, "hot", 64<<30, []int{0})
+		tb.Console.CreateNamespace(p, "cold", 512<<30, []int{1})
+		tb.Console.Bind(p, "hot", 0)
+		tb.Console.Bind(p, "cold", 1)
+		hot, err := tb.AttachTenant(p, 0, host.DefaultDriverConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := tb.AttachTenant(p, 1, host.DefaultDriverConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// QD1 4K read on each: flash ~80us, disk ~8ms.
+		t0 := p.Now()
+		hot.BlockDev(0).ReadAt(p, 0, 1, nil)
+		flashLat := p.Now() - t0
+		t0 = p.Now()
+		cold.BlockDev(0).ReadAt(p, 1<<26, 1, nil)
+		hddLat := p.Now() - t0
+		if flashLat > 200*sim.Microsecond {
+			t.Fatalf("flash read %v too slow", flashLat)
+		}
+		if hddLat < sim.Millisecond {
+			t.Fatalf("hdd read %v suspiciously fast", hddLat)
+		}
+	})
+}

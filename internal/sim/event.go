@@ -1,0 +1,66 @@
+package sim
+
+// Event is a one-shot occurrence in virtual time. Processes wait on events;
+// callbacks attached with AddCallback run in scheduler context when the
+// event fires. An Event carries an arbitrary value from the triggerer to the
+// waiters.
+type Event struct {
+	env       *Env
+	val       any
+	pending   bool // scheduled on the queue but not yet fired
+	processed bool // has fired
+	aborted   bool
+	waiters   []*Proc
+	callbacks []func(val any)
+}
+
+// NewEvent returns an untriggered event bound to the environment.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Trigger schedules the event to fire at the current virtual time with the
+// given value. Triggering an already-triggered event is a no-op, which makes
+// completion signalling idempotent.
+func (ev *Event) Trigger(val any) {
+	ev.TriggerDelayed(0, val)
+}
+
+// TriggerDelayed schedules the event to fire after delay.
+func (ev *Event) TriggerDelayed(delay Time, val any) {
+	if ev.pending || ev.processed {
+		return
+	}
+	ev.val = val
+	ev.pending = true
+	ev.env.push(ev.env.now+delay, ev)
+}
+
+// Abort permanently prevents an untriggered event from firing. Processes
+// already waiting stay blocked (use control messages, not Abort, to wake
+// them); it mainly stops stale timeouts from running callbacks.
+func (ev *Event) Abort() { ev.aborted = true }
+
+// Triggered reports whether the event has been scheduled or has fired.
+func (ev *Event) Triggered() bool { return ev.pending || ev.processed }
+
+// Processed reports whether the event has fired.
+func (ev *Event) Processed() bool { return ev.processed }
+
+// Value returns the value the event fired with (nil before firing).
+func (ev *Event) Value() any { return ev.val }
+
+// AddCallback attaches fn to run in scheduler context when the event fires.
+// If the event already fired, fn runs immediately.
+func (ev *Event) AddCallback(fn func(val any)) {
+	if ev.processed {
+		fn(ev.val)
+		return
+	}
+	ev.callbacks = append(ev.callbacks, fn)
+}
+
+// Timeout returns an event that fires after delay with value val.
+func (e *Env) Timeout(delay Time, val any) *Event {
+	ev := e.NewEvent()
+	ev.TriggerDelayed(delay, val)
+	return ev
+}

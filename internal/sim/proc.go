@@ -1,0 +1,99 @@
+package sim
+
+// Proc is a simulation process: sequential code that advances virtual time
+// by blocking on events. All Proc methods must be called from within the
+// process's own function.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan resumeMsg
+	done   bool
+	doneEv *Event
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Done returns an event that fires when the process function returns.
+func (p *Proc) Done() *Event { return p.doneEv }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// yield hands control back to the scheduler and blocks until resumed.
+func (p *Proc) yield() resumeMsg {
+	p.env.yield <- struct{}{}
+	m := <-p.resume
+	if m.abort {
+		panic(errAborted)
+	}
+	return m
+}
+
+// Wait blocks until ev fires and returns its value. If ev already fired,
+// Wait returns immediately without advancing time.
+func (p *Proc) Wait(ev *Event) any {
+	if ev.processed {
+		return ev.val
+	}
+	ev.waiters = append(ev.waiters, p)
+	return p.yield().val
+}
+
+// Sleep advances the process's local time by d.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	p.Wait(p.env.Timeout(d, nil))
+}
+
+// WaitAny blocks until the first of evs fires and returns that event. Events
+// that already fired win immediately (earliest in the argument list).
+func (p *Proc) WaitAny(evs ...*Event) *Event {
+	for _, ev := range evs {
+		if ev.processed {
+			return ev
+		}
+	}
+	for _, ev := range evs {
+		ev.waiters = append(ev.waiters, p)
+	}
+	m := p.yield()
+	// Remove p from the other events' waiter lists so a later firing does
+	// not try to resume a process that moved on.
+	for _, ev := range evs {
+		if ev == m.ev {
+			continue
+		}
+		ev.removeWaiter(p)
+	}
+	return m.ev
+}
+
+// WaitTimeout waits for ev at most d. It returns the event value and true if
+// ev fired first, or nil and false on timeout.
+func (p *Proc) WaitTimeout(ev *Event, d Time) (any, bool) {
+	to := p.env.Timeout(d, nil)
+	won := p.WaitAny(ev, to)
+	if won == ev {
+		to.Abort()
+		return ev.val, true
+	}
+	return nil, false
+}
+
+func (ev *Event) removeWaiter(p *Proc) {
+	for i, w := range ev.waiters {
+		if w == p {
+			ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Rand returns a deterministic pseudo-random stream derived from the
+// environment seed and the given name. Distinct names yield independent
+// streams, so adding a new random consumer never perturbs existing ones —
+// the property that keeps experiments reproducible as the model grows.
+func (e *Env) Rand(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(e.seed ^ int64(h.Sum64())))
+}
+
+// Pacer meters a flow to a byte-per-second rate over virtual time. It is the
+// bandwidth-regulator primitive used for PCIe links and SSD internal buses:
+// each transfer reserves the next free slot on the wire and the caller
+// sleeps until its last byte would have left.
+type Pacer struct {
+	env  *Env
+	bps  float64 // bytes per second
+	free Time    // next time the wire is free
+}
+
+// NewPacer returns a pacer with the given capacity in bytes per second.
+func NewPacer(env *Env, bytesPerSecond float64) *Pacer {
+	if bytesPerSecond <= 0 {
+		panic("sim: pacer rate must be positive")
+	}
+	return &Pacer{env: env, bps: bytesPerSecond}
+}
+
+// Rate returns the configured bytes-per-second capacity.
+func (pc *Pacer) Rate() float64 { return pc.bps }
+
+// Reserve books n bytes on the wire and returns the virtual time at which
+// the transfer completes. It never blocks; combine with Proc.Sleep or
+// Env.Schedule to model the elapsed transfer.
+func (pc *Pacer) Reserve(n int64) Time {
+	now := pc.env.now
+	start := pc.free
+	if start < now {
+		start = now
+	}
+	dur := Time(math.Round(float64(n) / pc.bps * 1e9))
+	if dur < 1 {
+		dur = 1
+	}
+	pc.free = start + dur
+	return pc.free
+}
+
+// Transfer books n bytes and blocks the calling process until the transfer
+// completes.
+func (pc *Pacer) Transfer(p *Proc, n int64) {
+	done := pc.Reserve(n)
+	d := done - pc.env.now
+	if d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// Backlog returns how far in the future the wire is currently booked.
+func (pc *Pacer) Backlog() Time {
+	if pc.free <= pc.env.now {
+		return 0
+	}
+	return pc.free - pc.env.now
+}

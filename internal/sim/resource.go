@@ -1,0 +1,71 @@
+package sim
+
+// Resource is a counted semaphore over virtual time: a pool of identical
+// service units (NAND dies, polling cores, link credits). Acquire blocks the
+// calling process until a unit is free; requests are granted FIFO.
+type Resource struct {
+	env     *Env
+	cap     int
+	inUse   int
+	waiters []*Event
+}
+
+// NewResource returns a resource with capacity units.
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, cap: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.cap }
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire obtains one unit, blocking until available.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap {
+		r.inUse++
+		return
+	}
+	ev := r.env.NewEvent()
+	r.waiters = append(r.waiters, ev)
+	p.Wait(ev)
+}
+
+// TryAcquire obtains a unit only if one is immediately free.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit, waking the oldest waiter if any. The unit is
+// transferred directly to the waiter, so capacity accounting stays exact.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource")
+	}
+	if len(r.waiters) > 0 {
+		ev := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		ev.Trigger(nil) // unit passes to the waiter; inUse unchanged
+		return
+	}
+	r.inUse--
+}
+
+// Use runs fn while holding one unit for the given service time: it acquires,
+// sleeps d, runs fn (in process context), and releases.
+func (r *Resource) Use(p *Proc, d Time, fn func()) {
+	r.Acquire(p)
+	p.Sleep(d)
+	if fn != nil {
+		fn()
+	}
+	r.Release()
+}

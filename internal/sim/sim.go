@@ -1,0 +1,243 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel in the style of SimPy. The entire BM-Store reproduction
+// runs on this kernel: hardware latencies and bandwidths are modelled in
+// virtual time, so microsecond-scale device behaviour can be reproduced
+// faithfully regardless of host speed.
+//
+// Concurrency model: simulation processes are goroutines, but exactly one
+// goroutine (either the scheduler or a single process) runs at any moment.
+// Control is handed off explicitly through channels, so simulation state
+// never needs locking and event ordering is fully deterministic: events fire
+// in (time, sequence) order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time = int64
+
+// Convenient duration units for virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv, start processes with Go, and drive it with Run or
+// RunUntil. An Env must not be shared between operating-system threads other
+// than through the process mechanism.
+type Env struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+
+	yield chan struct{} // signalled by a process when it blocks or exits
+	live  map[*Proc]struct{}
+
+	seed int64
+}
+
+// NewEnv returns a fresh environment at time 0 with the given base RNG seed.
+// The seed feeds the per-name deterministic streams returned by Rand.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+		seed:  seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// scheduled is an entry in the event queue.
+type scheduled struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
+
+type eventQueue []scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(scheduled)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func (e *Env) push(at Time, ev *Event) {
+	e.seq++
+	heap.Push(&e.queue, scheduled{at: at, seq: e.seq, ev: ev})
+}
+
+// Schedule runs fn in scheduler context after delay. It is the lightweight,
+// callback-style alternative to starting a process; device models use it for
+// internal pipeline stages.
+func (e *Env) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	ev := e.NewEvent()
+	ev.AddCallback(func(any) { fn() })
+	e.push(e.now+delay, ev)
+	ev.pending = true
+}
+
+// Run processes events until the queue is empty, then returns the final
+// virtual time. Processes still blocked on untriggered events remain blocked;
+// call Shutdown to unwind them.
+func (e *Env) Run() Time { return e.run(-1) }
+
+// RunUntil processes events up to and including virtual time t and then
+// returns. The clock is left at t even if the queue drained earlier.
+func (e *Env) RunUntil(t Time) Time {
+	e.run(t)
+	if e.now < t {
+		e.now = t
+	}
+	return e.now
+}
+
+// RunUntilEvent processes events until ev has fired (or the queue runs
+// dry). Use it to drive a simulation that hosts immortal server processes
+// (pollers, monitors) whose periodic timers would keep Run spinning
+// forever.
+func (e *Env) RunUntilEvent(ev *Event) Time {
+	for !ev.processed && len(e.queue) > 0 {
+		it := heap.Pop(&e.queue).(scheduled)
+		if it.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = it.at
+		e.fire(it.ev)
+	}
+	return e.now
+}
+
+func (e *Env) run(limit Time) Time {
+	for len(e.queue) > 0 {
+		if limit >= 0 && e.queue[0].at > limit {
+			break
+		}
+		it := heap.Pop(&e.queue).(scheduled)
+		if it.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = it.at
+		e.fire(it.ev)
+	}
+	return e.now
+}
+
+// fire marks ev processed, runs callbacks and resumes waiting processes.
+func (e *Env) fire(ev *Event) {
+	if ev.processed || ev.aborted {
+		return
+	}
+	ev.processed = true
+	ev.pending = false
+	cbs := ev.callbacks
+	ev.callbacks = nil
+	for _, cb := range cbs {
+		cb(ev.val)
+	}
+	ws := ev.waiters
+	ev.waiters = nil
+	for _, p := range ws {
+		if p.done {
+			continue
+		}
+		e.resume(p, resumeMsg{val: ev.val, ev: ev})
+	}
+}
+
+type resumeMsg struct {
+	val   any
+	ev    *Event
+	abort bool
+}
+
+// resume hands control to process p and blocks until it yields back.
+func (e *Env) resume(p *Proc, m resumeMsg) {
+	p.resume <- m
+	<-e.yield
+}
+
+// Blocked reports how many processes are alive but currently blocked. After
+// Run returns, a nonzero value means some processes are waiting on events
+// that will never fire (often intentional: server loops).
+func (e *Env) Blocked() int { return len(e.live) }
+
+// Shutdown aborts every live process: each blocked process's wait panics
+// with an internal sentinel that the process wrapper recovers. Use it in
+// tests to avoid goroutine leaks from server-style processes.
+func (e *Env) Shutdown() {
+	for len(e.live) > 0 {
+		for p := range e.live {
+			e.resume(p, resumeMsg{abort: true})
+			break
+		}
+	}
+}
+
+// Go starts fn as a new simulation process named name. The process begins
+// running at the current virtual time, before Go returns to the scheduler...
+// precisely: the process is started immediately if called from scheduler
+// context, or scheduled for the same timestamp when called from another
+// process. Go returns a *Proc handle whose Done event fires when fn returns.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		env:    e,
+		name:   name,
+		resume: make(chan resumeMsg),
+		doneEv: e.NewEvent(),
+	}
+	e.live[p] = struct{}{}
+	go func() {
+		m := <-p.resume // wait for first activation
+		// The completion handoff runs as a deferred function so that it
+		// also happens when fn exits via runtime.Goexit — notably when a
+		// test calls t.Fatal from inside a simulation process. Without it
+		// the scheduler would wait forever for the yield.
+		defer func() {
+			p.done = true
+			delete(e.live, p)
+			if !m.abort {
+				p.doneEv.Trigger(nil)
+			}
+			e.yield <- struct{}{}
+		}()
+		if !m.abort {
+			defer func() {
+				if r := recover(); r != nil && r != errAborted {
+					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				}
+			}()
+			fn(p)
+		}
+	}()
+	// Activate via a zero-delay event so start order is deterministic.
+	start := e.NewEvent()
+	start.waiters = append(start.waiters, p)
+	e.push(e.now, start)
+	start.pending = true
+	return p
+}
+
+var errAborted = fmt.Errorf("sim: process aborted")

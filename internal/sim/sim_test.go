@@ -1,0 +1,446 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeoutAdvancesClock(t *testing.T) {
+	env := NewEnv(1)
+	var woke Time = -1
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		woke = p.Now()
+	})
+	env.Run()
+	if woke != 5*Microsecond {
+		t.Fatalf("woke at %d, want %d", woke, 5*Microsecond)
+	}
+}
+
+func TestZeroSleepDoesNotAdvance(t *testing.T) {
+	env := NewEnv(1)
+	env.Go("p", func(p *Proc) {
+		p.Sleep(0)
+		if p.Now() != 0 {
+			t.Errorf("zero sleep advanced clock to %d", p.Now())
+		}
+	})
+	env.Run()
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Shutdown()
+	failed := false
+	env.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				failed = true
+				panic(errAborted) // unwind cleanly through the wrapper
+			}
+		}()
+		p.Sleep(-1)
+	})
+	env.Run()
+	if !failed {
+		t.Fatal("negative sleep did not panic")
+	}
+}
+
+func TestEventValuePropagates(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	var got any
+	env.Go("waiter", func(p *Proc) { got = p.Wait(ev) })
+	env.Go("trigger", func(p *Proc) {
+		p.Sleep(3)
+		ev.Trigger("hello")
+	})
+	env.Run()
+	if got != "hello" {
+		t.Fatalf("got %v, want hello", got)
+	}
+}
+
+func TestWaitOnProcessedEventReturnsImmediately(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.Timeout(1, 42)
+	var got any
+	var at Time
+	env.Go("late", func(p *Proc) {
+		p.Sleep(10)
+		got = p.Wait(ev)
+		at = p.Now()
+	})
+	env.Run()
+	if got != 42 || at != 10 {
+		t.Fatalf("got %v at %d, want 42 at 10", got, at)
+	}
+}
+
+func TestTriggerIsIdempotent(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	n := 0
+	ev.AddCallback(func(any) { n++ })
+	ev.Trigger(1)
+	ev.Trigger(2)
+	env.Run()
+	if n != 1 {
+		t.Fatalf("callback ran %d times, want 1", n)
+	}
+	if ev.Value() != 1 {
+		t.Fatalf("value %v, want first trigger's 1", ev.Value())
+	}
+}
+
+func TestDeterministicOrderingFIFOAtSameTime(t *testing.T) {
+	run := func() []int {
+		env := NewEnv(7)
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			env.Go("p", func(p *Proc) {
+				p.Sleep(5)
+				order = append(order, i)
+			})
+		}
+		env.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != i {
+			t.Fatalf("order %v not FIFO", a)
+		}
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic ordering: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestScheduleCallback(t *testing.T) {
+	env := NewEnv(1)
+	var at Time = -1
+	env.Schedule(9, func() { at = env.Now() })
+	env.Run()
+	if at != 9 {
+		t.Fatalf("callback at %d, want 9", at)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	env := NewEnv(1)
+	fired := false
+	env.Schedule(100, func() { fired = true })
+	env.RunUntil(50)
+	if fired {
+		t.Fatal("event beyond limit fired")
+	}
+	if env.Now() != 50 {
+		t.Fatalf("clock %d, want 50", env.Now())
+	}
+	env.RunUntil(100)
+	if !fired {
+		t.Fatal("event at limit did not fire on second run")
+	}
+}
+
+func TestWaitAnyPicksEarliest(t *testing.T) {
+	env := NewEnv(1)
+	var winner any
+	env.Go("p", func(p *Proc) {
+		fast := p.Env().Timeout(5, "fast")
+		slow := p.Env().Timeout(9, "slow")
+		winner = p.WaitAny(slow, fast).Value()
+		// After winning, the process must survive the slow event firing.
+		p.Sleep(10)
+	})
+	env.Run()
+	if winner != "fast" {
+		t.Fatalf("winner %v, want fast", winner)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	var ok1, ok2 bool
+	env.Go("t1", func(p *Proc) { _, ok1 = p.WaitTimeout(ev, 5) })
+	env.Go("t2", func(p *Proc) {
+		v, ok := p.WaitTimeout(env.Timeout(2, "x"), 5)
+		ok2 = ok && v == "x"
+	})
+	env.Run()
+	if ok1 {
+		t.Fatal("timeout path reported success")
+	}
+	if !ok2 {
+		t.Fatal("event-first path reported timeout")
+	}
+	env.Shutdown()
+}
+
+func TestQueueFIFO(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, 0)
+	var got []int
+	env.Go("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Put(p, i)
+			p.Sleep(1)
+		}
+	})
+	env.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want 0..4 in order", got)
+		}
+	}
+}
+
+func TestQueueCapacityBlocksPutter(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, 2)
+	var thirdPutAt Time = -1
+	env.Go("producer", func(p *Proc) {
+		q.Put(p, 0)
+		q.Put(p, 1)
+		q.Put(p, 2) // must block until consumer drains one
+		thirdPutAt = p.Now()
+	})
+	env.Go("consumer", func(p *Proc) {
+		p.Sleep(7)
+		q.Get(p)
+	})
+	env.Run()
+	if thirdPutAt != 7 {
+		t.Fatalf("third put completed at %d, want 7", thirdPutAt)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("queue length %d, want 2", q.Len())
+	}
+}
+
+func TestQueueHandsItemDirectlyToWaiter(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[string](env, 0)
+	var got string
+	env.Go("consumer", func(p *Proc) { got = q.Get(p) })
+	env.Go("producer", func(p *Proc) {
+		p.Sleep(3)
+		q.Put(p, "item")
+	})
+	env.Run()
+	if got != "item" {
+		t.Fatalf("got %q", got)
+	}
+	if q.Len() != 0 {
+		t.Fatal("item left buffered after direct handoff")
+	}
+}
+
+func TestTryGetTryPut(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, 1)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+	if !q.TryPut(1) {
+		t.Fatal("TryPut on empty queue failed")
+	}
+	if q.TryPut(2) {
+		t.Fatal("TryPut on full queue succeeded")
+	}
+	v, ok := q.TryGet()
+	if !ok || v != 1 {
+		t.Fatalf("TryGet = %v,%v", v, ok)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		env.Go("user", func(p *Proc) {
+			r.Use(p, 10, nil)
+			finish = append(finish, p.Now())
+		})
+	}
+	env.Run()
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceParallelism(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		env.Go("user", func(p *Proc) {
+			r.Use(p, 10, nil)
+			finish = append(finish, p.Now())
+		})
+	}
+	env.Run()
+	want := []Time{10, 10, 20, 20}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("resource left in use: %d", r.InUse())
+	}
+}
+
+func TestResourceReleasePanicsWhenIdle(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestPacerRate(t *testing.T) {
+	env := NewEnv(1)
+	pc := NewPacer(env, 1e9) // 1 GB/s => 1 byte per ns
+	var done Time
+	env.Go("xfer", func(p *Proc) {
+		pc.Transfer(p, 4096)
+		pc.Transfer(p, 4096)
+		done = p.Now()
+	})
+	env.Run()
+	if done != 8192 {
+		t.Fatalf("two 4K transfers at 1GB/s finished at %dns, want 8192", done)
+	}
+}
+
+func TestPacerQueuesConcurrentTransfers(t *testing.T) {
+	env := NewEnv(1)
+	pc := NewPacer(env, 1e9)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		env.Go("xfer", func(p *Proc) {
+			pc.Transfer(p, 1000)
+			finish = append(finish, p.Now())
+		})
+	}
+	env.Run()
+	want := []Time{1000, 2000, 3000}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestRandStreamsIndependentAndDeterministic(t *testing.T) {
+	a1 := NewEnv(42).Rand("ssd0").Int63()
+	a2 := NewEnv(42).Rand("ssd0").Int63()
+	b := NewEnv(42).Rand("ssd1").Int63()
+	c := NewEnv(43).Rand("ssd0").Int63()
+	if a1 != a2 {
+		t.Fatal("same seed+name produced different streams")
+	}
+	if a1 == b {
+		t.Fatal("different names produced identical streams")
+	}
+	if a1 == c {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestProcDoneEvent(t *testing.T) {
+	env := NewEnv(1)
+	p1 := env.Go("worker", func(p *Proc) { p.Sleep(5) })
+	var joinedAt Time = -1
+	env.Go("joiner", func(p *Proc) {
+		p.Wait(p1.Done())
+		joinedAt = p.Now()
+	})
+	env.Run()
+	if joinedAt != 5 {
+		t.Fatalf("joined at %d, want 5", joinedAt)
+	}
+}
+
+func TestShutdownUnblocksAll(t *testing.T) {
+	env := NewEnv(1)
+	for i := 0; i < 5; i++ {
+		env.Go("server", func(p *Proc) {
+			p.Wait(p.Env().NewEvent()) // never fires
+		})
+	}
+	env.Run()
+	if env.Blocked() != 5 {
+		t.Fatalf("blocked %d, want 5", env.Blocked())
+	}
+	env.Shutdown()
+	if env.Blocked() != 0 {
+		t.Fatalf("blocked after shutdown: %d", env.Blocked())
+	}
+}
+
+// Property: a pacer transferring k packets of arbitrary sizes finishes
+// exactly at ceil-free sum/rate boundaries — total time equals the sum of
+// per-packet durations, regardless of arrival pattern at saturation.
+func TestPacerConservationProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		env := NewEnv(1)
+		pc := NewPacer(env, 1e9)
+		var total int64
+		var end Time
+		env.Go("xfer", func(p *Proc) {
+			for _, s := range sizes {
+				n := int64(s) + 1
+				total += n
+				pc.Transfer(p, n)
+			}
+			end = p.Now()
+		})
+		env.Run()
+		return end == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a capacity-c resource and n unit-time jobs, makespan is
+// ceil(n/c) — the resource neither over- nor under-admits.
+func TestResourceMakespanProperty(t *testing.T) {
+	f := func(n8, c8 uint8) bool {
+		n := int(n8%40) + 1
+		c := int(c8%8) + 1
+		env := NewEnv(1)
+		r := NewResource(env, c)
+		for i := 0; i < n; i++ {
+			env.Go("job", func(p *Proc) { r.Use(p, 100, nil) })
+		}
+		end := env.Run()
+		want := Time((n + c - 1) / c * 100)
+		return end == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

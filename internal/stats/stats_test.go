@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Percentile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistSingleSample(t *testing.T) {
+	var h Hist
+	h.Record(777)
+	if h.N() != 1 || h.Min() != 777 || h.Max() != 777 {
+		t.Fatalf("bad bookkeeping: n=%d min=%d max=%d", h.N(), h.Min(), h.Max())
+	}
+	if h.Mean() != 777 {
+		t.Fatalf("mean %f", h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Percentile(q); got != 777 {
+			t.Fatalf("p%v = %d, want 777", q, got)
+		}
+	}
+}
+
+func TestHistSmallExactValues(t *testing.T) {
+	var h Hist
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	// Values below subBuckets land in exact buckets.
+	if got := h.Percentile(0.5); got != 15 {
+		t.Fatalf("p50 = %d, want 15", got)
+	}
+}
+
+func TestHistPercentileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Hist
+	var raw []int64
+	for i := 0; i < 100000; i++ {
+		v := int64(rng.ExpFloat64() * 80000) // exponential, mean 80us
+		raw = append(raw, v)
+		h.Record(v)
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := raw[int(q*float64(len(raw)))-1]
+		got := h.Percentile(q)
+		rel := float64(got-exact) / float64(exact)
+		if rel < -0.05 || rel > 0.05 {
+			t.Fatalf("p%v = %d, exact %d, rel err %.3f", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 100; i++ {
+		a.Record(int64(i))
+		b.Record(int64(1000 + i))
+	}
+	a.Merge(&b)
+	if a.N() != 200 {
+		t.Fatalf("merged n=%d", a.N())
+	}
+	if a.Min() != 0 || a.Max() != 1099 {
+		t.Fatalf("merged min/max %d/%d", a.Min(), a.Max())
+	}
+}
+
+// Property: percentile is monotone in q and bounded by [min, max].
+func TestHistPercentileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Hist
+		for _, s := range samples {
+			h.Record(int64(s))
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Percentile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bucketLow(bucketOf(v)) <= v and the bucket error is < ~3.2%.
+func TestHistBucketErrorProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		x := int64(v)
+		lo := bucketLow(bucketOf(x))
+		if lo > x {
+			return false
+		}
+		if x >= 64 && float64(x-lo)/float64(x) > 1.0/subBuckets {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOStats(t *testing.T) {
+	var s IOStats
+	for i := 0; i < 1000; i++ {
+		s.Record(4096, 80_000)
+	}
+	dur := int64(1e9) // 1s
+	if got := s.IOPS(dur); got != 1000 {
+		t.Fatalf("IOPS %f", got)
+	}
+	if got := s.BandwidthMBs(dur); got != 4.096 {
+		t.Fatalf("BW %f", got)
+	}
+	if s.IOPS(0) != 0 {
+		t.Fatal("zero duration should give 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(0, 1)
+	s.Add(99, 1)
+	s.Add(100, 5)
+	s.Add(350, 2)
+	if len(s.Bins) != 4 {
+		t.Fatalf("bins %d", len(s.Bins))
+	}
+	if s.Bins[0] != 2 || s.Bins[1] != 5 || s.Bins[2] != 0 || s.Bins[3] != 2 {
+		t.Fatalf("bins %v", s.Bins)
+	}
+	// 2 ops in a 100ns bin = 2e7 ops/s.
+	if got := s.Rate(0); got != 2e7 {
+		t.Fatalf("rate %f", got)
+	}
+	if s.Rate(-1) != 0 || s.Rate(10) != 0 {
+		t.Fatal("out of range rate should be 0")
+	}
+}

@@ -1,0 +1,93 @@
+// Package tco reproduces the paper's total-cost-of-ownership analysis
+// (§VI-C): a typical server sells 8-HT/64-GB/1-SSD instances; SPDK vhost
+// burns 16 host cores on polling and strands memory and SSD fragments,
+// while BM-Store sells the whole machine for a 3% hardware premium.
+package tco
+
+// Server describes the sellable resources of one machine.
+type Server struct {
+	HTs     int
+	MemGB   int
+	SSDs    int
+	HWCost  float64 // normalized hardware cost
+	FixedOH float64 // lifetime power+IDC+ops cost as a multiple of HWCost
+}
+
+// Instance is the sellable unit shape.
+type Instance struct {
+	HTs   int
+	MemGB int
+	SSDs  int
+}
+
+// Scheme describes what a storage-virtualization choice costs the server.
+type Scheme struct {
+	Name         string
+	PollingHTs   int     // host threads reserved for storage polling
+	HWCostFactor float64 // hardware cost multiplier (cards, etc.)
+}
+
+// The paper's configuration.
+func PaperServer() Server {
+	return Server{HTs: 128, MemGB: 1024, SSDs: 16, HWCost: 1.0, FixedOH: 1.05}
+}
+
+func PaperInstance() Instance { return Instance{HTs: 8, MemGB: 64, SSDs: 1} }
+
+// SPDKScheme reserves 8 physical cores (16 HTs) for vhost polling on 16
+// SSDs — the 2-cores-per-SSD operating point of Fig. 1.
+func SPDKScheme() Scheme { return Scheme{Name: "SPDK vhost", PollingHTs: 16, HWCostFactor: 1.0} }
+
+// BMStoreScheme adds 4 BM-Store cards at ~3% of server cost and reserves
+// no host CPU.
+func BMStoreScheme() Scheme { return Scheme{Name: "BM-Store", PollingHTs: 0, HWCostFactor: 1.03} }
+
+// Sellable returns how many instances the server can sell under a scheme:
+// the binding constraint across CPU, memory and SSDs.
+func Sellable(srv Server, inst Instance, s Scheme) int {
+	byCPU := (srv.HTs - s.PollingHTs) / inst.HTs
+	byMem := srv.MemGB / inst.MemGB
+	bySSD := srv.SSDs / inst.SSDs
+	n := byCPU
+	if byMem < n {
+		n = byMem
+	}
+	if bySSD < n {
+		n = bySSD
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// PerInstanceTCO returns the lifetime cost per sold instance.
+func PerInstanceTCO(srv Server, inst Instance, s Scheme) float64 {
+	n := Sellable(srv, inst, s)
+	if n == 0 {
+		return 0
+	}
+	total := srv.HWCost*s.HWCostFactor + srv.HWCost*srv.FixedOH
+	return total / float64(n)
+}
+
+// Comparison is the paper's headline result.
+type Comparison struct {
+	SPDKInstances    int
+	BMStoreInstances int
+	MoreInstancesPct float64
+	TCOReductionPct  float64
+}
+
+// Compare reproduces §VI-C with the given (or paper) parameters.
+func Compare(srv Server, inst Instance) Comparison {
+	spdk, bms := SPDKScheme(), BMStoreScheme()
+	nS, nB := Sellable(srv, inst, spdk), Sellable(srv, inst, bms)
+	tS, tB := PerInstanceTCO(srv, inst, spdk), PerInstanceTCO(srv, inst, bms)
+	return Comparison{
+		SPDKInstances:    nS,
+		BMStoreInstances: nB,
+		MoreInstancesPct: float64(nB-nS) / float64(nS) * 100,
+		TCOReductionPct:  (tS - tB) / tS * 100,
+	}
+}

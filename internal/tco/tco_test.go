@@ -1,0 +1,38 @@
+package tco
+
+import "testing"
+
+func TestPaperHeadlineNumbers(t *testing.T) {
+	c := Compare(PaperServer(), PaperInstance())
+	if c.SPDKInstances != 14 || c.BMStoreInstances != 16 {
+		t.Fatalf("instances %d vs %d, paper 14 vs 16", c.SPDKInstances, c.BMStoreInstances)
+	}
+	if c.MoreInstancesPct < 14.0 || c.MoreInstancesPct > 14.6 {
+		t.Fatalf("more instances %.1f%%, paper 14.3%%", c.MoreInstancesPct)
+	}
+	if c.TCOReductionPct < 11.0 || c.TCOReductionPct > 12.0 {
+		t.Fatalf("TCO reduction %.1f%%, paper >= 11.3%%", c.TCOReductionPct)
+	}
+}
+
+func TestBindingConstraints(t *testing.T) {
+	srv := PaperServer()
+	inst := PaperInstance()
+	// SPDK is CPU-bound: (128-16)/8 = 14 even though memory allows 16.
+	if got := Sellable(srv, inst, SPDKScheme()); got != 14 {
+		t.Fatalf("SPDK sellable %d", got)
+	}
+	// Shrink memory so it binds instead.
+	srv.MemGB = 512
+	if got := Sellable(srv, inst, BMStoreScheme()); got != 8 {
+		t.Fatalf("memory-bound sellable %d", got)
+	}
+	// Degenerate: polling eats everything.
+	s := Scheme{PollingHTs: 128}
+	if got := Sellable(PaperServer(), inst, s); got != 0 {
+		t.Fatalf("sellable %d, want 0", got)
+	}
+	if PerInstanceTCO(PaperServer(), inst, s) != 0 {
+		t.Fatal("TCO of unsellable server should be 0")
+	}
+}
