@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test race lint determinism bench-smoke flaky
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race job runs the short suite: long soak tests carry testing.Short()
+# guards so the race detector's ~10x slowdown stays within CI budget.
+race:
+	$(GO) test -race -short ./...
+
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# The determinism gate: every replay scenario twice with the same seed,
+# asserting bit-identical trace digests (see internal/trace/replay_test.go).
+determinism:
+	$(GO) test -run Determinism -count=1 ./...
+
+# One iteration of every benchmark — catches bit-rot in benchmark code and
+# gives a cheap overhead spot-check without a full measurement run.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Flakiness sweep: the full suite twice, fresh processes, no test cache.
+flaky:
+	$(GO) test -count=2 ./...

@@ -26,6 +26,7 @@ import (
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/ssd"
+	"bmstore/internal/trace"
 )
 
 // Config describes a testbed: the host, the SSD population, and (for
@@ -54,6 +55,12 @@ type Config struct {
 	// HostLinkLanes/SSDLinkLanes size the PCIe links (x16 / x4 defaults).
 	HostLinkLanes int
 	SSDLinkLanes  int
+
+	// Tracer, when non-nil, is attached to the simulation environment
+	// before any component is built: the scheduler and every instrumented
+	// subsystem stream their events into it, yielding a run digest (and
+	// optionally a human-readable dump). Leave nil for zero-cost runs.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig mirrors the paper's testbed (Table III): CentOS 7 with the
@@ -109,6 +116,9 @@ func (c *Config) ssdConfig(env *sim.Env, i int) ssd.Config {
 // the engine's backend bring-up to completion.
 func NewBMStoreTestbed(cfg Config) *Testbed {
 	env := sim.NewEnv(cfg.Seed)
+	if cfg.Tracer != nil {
+		env.SetTracer(cfg.Tracer)
+	}
 	h := host.New(env, cfg.MemSize, cfg.Kernel)
 	eng := engine.New(env, cfg.Engine)
 
@@ -149,6 +159,9 @@ func NewBMStoreTestbed(cfg Config) *Testbed {
 // substrate for the native, VFIO and SPDK vhost baselines.
 func NewDirectTestbed(cfg Config) *Testbed {
 	env := sim.NewEnv(cfg.Seed)
+	if cfg.Tracer != nil {
+		env.SetTracer(cfg.Tracer)
+	}
 	h := host.New(env, cfg.MemSize, cfg.Kernel)
 	tb := &Testbed{Env: env, Host: h, cfg: cfg}
 	for i := 0; i < cfg.NumSSDs; i++ {

@@ -301,6 +301,9 @@ func TestHotPlugViaConsole(t *testing.T) {
 }
 
 func TestMonitorSeesTenantTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second monitor window")
+	}
 	tb := smallTestbed(t, 1)
 	tb.Run(func(p *sim.Proc) {
 		tb.Console.CreateNamespace(p, "vol", 64<<20, []int{0})

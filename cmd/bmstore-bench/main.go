@@ -14,12 +14,16 @@ import (
 	"time"
 
 	"bmstore/internal/experiments"
+	"bmstore/internal/sim"
+	"bmstore/internal/trace"
 )
 
 func main() {
 	scale := flag.String("scale", "fast", "run scale: fast or full")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	traceOut := flag.String("trace", "", "write a human-readable event trace to this file (- for stderr)")
+	traceDigest := flag.Bool("trace-digest", false, "compute and print a determinism digest over all runs")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -46,6 +50,29 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
+	// Experiments build their simulation environments internally, so the
+	// tracer is installed as the process-wide default rather than through a
+	// Config. The digest then covers every environment the run creates.
+	var tr *trace.Tracer
+	if *traceOut != "" || *traceDigest {
+		opts := trace.Options{}
+		switch *traceOut {
+		case "":
+		case "-":
+			opts.Dump = os.Stderr
+		default:
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			opts.Dump = f
+		}
+		tr = trace.New(opts)
+		sim.SetDefaultTracer(tr)
+	}
+
 	fmt.Printf("BM-Store evaluation reproduction (scale=%s)\n\n", sc.Name)
 	for _, e := range all {
 		if len(want) > 0 && !want[e.ID] {
@@ -55,5 +82,12 @@ func main() {
 		tab := e.Run(sc)
 		tab.Notes = append(tab.Notes, fmt.Sprintf("wall time: %.1fs", time.Since(start).Seconds()))
 		tab.Render(os.Stdout)
+	}
+	if tr != nil {
+		if err := tr.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events, digest %s\n", tr.Events(), tr.Digest())
 	}
 }

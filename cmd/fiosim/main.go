@@ -21,6 +21,7 @@ import (
 	"bmstore/internal/host"
 	"bmstore/internal/sim"
 	"bmstore/internal/spdkvhost"
+	"bmstore/internal/trace"
 )
 
 func main() {
@@ -33,6 +34,9 @@ func main() {
 	ramp := flag.Duration("ramp", 10*time.Millisecond, "virtual warm-up window")
 	ssds := flag.Int("ssds", 1, "backend SSDs (namespace striped across them for bmstore)")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	traceOut := flag.String("trace", "", "write a human-readable event trace to this file (- for stdout)")
+	traceDigest := flag.Bool("trace-digest", false, "compute and print the run's determinism digest")
+	traceSHA := flag.Bool("trace-sha256", false, "use SHA-256 for the digest instead of the fast 64-bit digest")
 	flag.Parse()
 
 	var pat fio.Pattern
@@ -60,6 +64,27 @@ func main() {
 	cfg := bmstore.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.NumSSDs = *ssds
+
+	var tr *trace.Tracer
+	if *traceOut != "" || *traceDigest || *traceSHA {
+		opts := trace.Options{SHA256: *traceSHA}
+		var f *os.File
+		switch *traceOut {
+		case "":
+		case "-":
+			opts.Dump = os.Stdout
+		default:
+			var err error
+			if f, err = os.Create(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			opts.Dump = f
+		}
+		tr = trace.New(opts)
+		cfg.Tracer = tr
+	}
 
 	var res *fio.Result
 	start := time.Now()
@@ -140,4 +165,11 @@ func main() {
 		fmt.Printf("  %-9s : %.1f us\n", q.n, float64(h.Percentile(q.v))/1e3)
 	}
 	fmt.Printf("  (simulated %v in %.1fs wall)\n", *runtime, time.Since(start).Seconds())
+	if tr != nil {
+		if err := tr.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace     : %d events, digest %s\n", tr.Events(), tr.Digest())
+	}
 }

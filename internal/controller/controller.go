@@ -17,6 +17,7 @@ import (
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/ssd"
+	"bmstore/internal/trace"
 )
 
 // Version is the BMS-Controller firmware revision reported to the console.
@@ -54,6 +55,7 @@ type Controller struct {
 	eng *engine.Engine
 	cfg Config
 	ep  *mctp.Endpoint
+	tr  *trace.Tracer
 
 	namespaces map[string]*engine.Namespace
 	reqQ       *sim.Queue[inbound]
@@ -85,6 +87,7 @@ type MonitorSample struct {
 func New(env *sim.Env, eng *engine.Engine, cfg Config) *Controller {
 	c := &Controller{
 		env: env, eng: eng, cfg: cfg,
+		tr:         env.Tracer(),
 		namespaces: make(map[string]*engine.Namespace),
 		reqQ:       sim.NewQueue[inbound](env, 0),
 		monitor:    make(map[pcie.FuncID][]MonitorSample),
@@ -136,6 +139,9 @@ func (c *Controller) serve(p *sim.Proc) {
 }
 
 func (c *Controller) handle(p *sim.Proc, msg mctp.MIMessage) mctp.MIMessage {
+	if c.tr != nil {
+		c.tr.Emit(c.env.Now(), "bmsc", "mi", uint64(msg.Opcode), uint64(msg.RequestID), "")
+	}
 	fail := func(status uint8, err error) mctp.MIMessage {
 		c.logf("op %#x failed: %v", msg.Opcode, err)
 		return mctp.MIMessage{Status: status, Payload: []byte(err.Error())}
@@ -483,6 +489,9 @@ func (c *Controller) HotUpgrade(p *sim.Proc, req HotUpgradeReq) (HotUpgradeResp,
 	tq := p.Now()
 	c.eng.QuiesceBackend(p, req.SSD)
 	p.Sleep(c.cfg.CtxSaveLatency)
+	if c.tr != nil {
+		c.tr.Emit(c.env.Now(), "bmsc", "hu-save", uint64(req.SSD), uint64(p.Now()-tq), "")
+	}
 
 	// 3. Activate. The commit completes, then the device drops off the bus.
 	tc := p.Now()
@@ -502,6 +511,9 @@ func (c *Controller) HotUpgrade(p *sim.Proc, req HotUpgradeReq) (HotUpgradeResp,
 		return HotUpgradeResp{}, fmt.Errorf("resume: %w", err)
 	}
 	tEnd := p.Now()
+	if c.tr != nil {
+		c.tr.Emit(tEnd, "bmsc", "hu-restore", uint64(req.SSD), uint64(tEnd-tr), "")
+	}
 
 	rep := HotUpgradeResp{
 		Firmware:     c.eng.BackendFirmware(req.SSD),

@@ -6,6 +6,7 @@ import (
 	"bmstore/internal/hostmem"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
+	"bmstore/internal/trace"
 )
 
 // Config holds the BMS-Engine's geometry and pipeline timings. The latency
@@ -63,6 +64,9 @@ func DefaultConfig() Config {
 type Engine struct {
 	env *sim.Env
 	cfg Config
+	// tr is the determinism tracer cached at construction; nil when
+	// tracing is off, so every instrumentation point costs one compare.
+	tr *trace.Tracer
 
 	hostPort *pcie.Port
 	chip     *hostmem.Memory
@@ -90,6 +94,7 @@ func New(env *sim.Env, cfg Config) *Engine {
 	e := &Engine{
 		env:      env,
 		cfg:      cfg,
+		tr:       env.Tracer(),
 		chip:     hostmem.New(cfg.ChipMemBytes),
 		Firmware: "BMS_1.0",
 	}
@@ -197,6 +202,9 @@ func (t backendTarget) DMAWrite(addr uint64, n int, data []byte) sim.Time {
 	if int(fn) >= len(e.funcs) {
 		panic(fmt.Sprintf("engine: DMA write routed to unknown function %d", fn))
 	}
+	if e.tr != nil {
+		e.tr.Emit(e.env.Now(), "engine", "route-w", uint64(fn)<<48|hostAddr, uint64(n), "")
+	}
 	if e.staging != nil {
 		// Ablation: land in engine DRAM first, then re-DMA to the host.
 		in := e.staging.Reserve(int64(n)) - e.env.Now()
@@ -216,6 +224,9 @@ func (t backendTarget) DMARead(addr uint64, n int, buf []byte) sim.Time {
 	fn, hostAddr, _ := DecodeGlobalPRP(addr)
 	if int(fn) >= len(e.funcs) {
 		panic(fmt.Sprintf("engine: DMA read routed to unknown function %d", fn))
+	}
+	if e.tr != nil {
+		e.tr.Emit(e.env.Now(), "engine", "route-r", uint64(fn)<<48|hostAddr, uint64(n), "")
 	}
 	if e.staging != nil {
 		out := e.staging.Reserve(int64(n)) - e.env.Now()

@@ -253,6 +253,10 @@ const FrontNSID = 1
 // handleIO is steps 2-3 of the paper's Fig. 6: LBA mapping, QoS admission,
 // PRP rewriting into global PRPs, and forwarding to the host adaptor.
 func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint32) {
+	if tr := f.e.tr; tr != nil {
+		tr.Emit(f.e.env.Now(), "engine", "dispatch",
+			uint64(f.id)<<32|uint64(sq.id)<<16|uint64(cmd.Opcode), uint64(cmd.CID), "")
+	}
 	fail := func(st nvme.Status) {
 		f.postCQE(sq.cqid, nvme.Completion{CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead), Status: st})
 	}
@@ -284,6 +288,9 @@ func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint
 	if err != nil {
 		fail(nvme.StatusInternal)
 		return
+	}
+	if tr := f.e.tr; tr != nil {
+		tr.Emit(f.e.env.Now(), "engine", "map", slba, uint64(nlb)<<32|uint64(len(extents)), "")
 	}
 
 	// QoS admission: over-threshold commands park in the command buffer

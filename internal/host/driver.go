@@ -7,6 +7,7 @@ import (
 	"bmstore/internal/nvme"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
+	"bmstore/internal/trace"
 )
 
 // Register offsets of the standard NVMe controller map (the same whether
@@ -44,6 +45,7 @@ type Driver struct {
 	port *pcie.Port
 	fn   pcie.FuncID
 	cfg  DriverConfig
+	tr   *trace.Tracer
 
 	admin  *dq
 	queues []*dq
@@ -77,7 +79,7 @@ func AttachDriver(p *sim.Proc, h *Host, port *pcie.Port, fn pcie.FuncID, cfg Dri
 	if cfg.MaxIOBytes <= 0 {
 		cfg.MaxIOBytes = 1 << 20
 	}
-	d := &Driver{h: h, port: port, fn: fn, cfg: cfg}
+	d := &Driver{h: h, port: port, fn: fn, cfg: cfg, tr: h.Env.Tracer()}
 	h.register(d)
 
 	// Admin queue pair.
@@ -208,6 +210,10 @@ func (d *Driver) IRQ(vec int) {
 			q.phase = !q.phase
 		}
 		d.port.MMIOWrite(d.fn, nvme.CQDoorbell(q.id), uint64(q.cqHead))
+		if d.tr != nil {
+			d.tr.Emit(h.Env.Now(), "host", "cqe",
+				uint64(d.fn)<<32|uint64(vec)<<16|uint64(cpl.CID), uint64(cpl.Status), "")
+		}
 		if ev := q.wait[cpl.CID]; ev != nil {
 			delete(q.wait, cpl.CID)
 			ev.Trigger(cpl)
@@ -276,6 +282,10 @@ func (d *Driver) IO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte
 	q.tail = q.sqRing.Next(q.tail)
 	ev := d.h.Env.NewEvent()
 	q.wait[cmd.CID] = ev
+	if d.tr != nil {
+		d.tr.Emit(d.h.Env.Now(), "host", "doorbell",
+			uint64(d.fn)<<32|uint64(q.id)<<16|uint64(op), uint64(q.tail), "")
+	}
 	d.port.MMIOWrite(d.fn, nvme.SQDoorbell(q.id), uint64(q.tail))
 
 	cpl := p.Wait(ev).(nvme.Completion)

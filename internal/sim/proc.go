@@ -5,6 +5,7 @@ package sim
 // process's own function.
 type Proc struct {
 	env    *Env
+	id     uint64 // spawn sequence number; orders deterministic shutdown
 	name   string
 	resume chan resumeMsg
 	done   bool

@@ -14,6 +14,9 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
+
+	"bmstore/internal/trace"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -39,21 +42,44 @@ type Env struct {
 	yield chan struct{} // signalled by a process when it blocks or exits
 	live  map[*Proc]struct{}
 
-	seed int64
+	seed    int64
+	procSeq uint64
+	tracer  *trace.Tracer
 }
+
+// defaultTracer, when set, is attached to every environment NewEnv builds.
+// It exists for tools (cmd/bmstore-bench) whose testbeds are constructed
+// deep inside library code with no configuration path for a tracer.
+var defaultTracer *trace.Tracer
+
+// SetDefaultTracer installs tr on every subsequently created environment.
+// Pass nil to stop. Individual environments can still override with
+// SetTracer.
+func SetDefaultTracer(tr *trace.Tracer) { defaultTracer = tr }
 
 // NewEnv returns a fresh environment at time 0 with the given base RNG seed.
 // The seed feeds the per-name deterministic streams returned by Rand.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		yield: make(chan struct{}),
-		live:  make(map[*Proc]struct{}),
-		seed:  seed,
+		yield:  make(chan struct{}),
+		live:   make(map[*Proc]struct{}),
+		seed:   seed,
+		tracer: defaultTracer,
 	}
 }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// SetTracer attaches a determinism tracer to the environment. The scheduler
+// emits process-spawn, event-fire, resume and abort records into it; model
+// components cache the pointer at construction for their own instrumentation
+// points, so attach the tracer before building anything on the environment.
+// Pass nil to detach.
+func (e *Env) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// Tracer returns the attached tracer, or nil when tracing is off.
+func (e *Env) Tracer() *trace.Tracer { return e.tracer }
 
 // scheduled is an entry in the event queue.
 type scheduled struct {
@@ -125,6 +151,9 @@ func (e *Env) RunUntilEvent(ev *Event) Time {
 			panic("sim: event queue went backwards")
 		}
 		e.now = it.at
+		if e.tracer != nil {
+			e.tracer.Emit(e.now, "sim", "fire", it.seq, 0, "")
+		}
 		e.fire(it.ev)
 	}
 	return e.now
@@ -140,6 +169,9 @@ func (e *Env) run(limit Time) Time {
 			panic("sim: event queue went backwards")
 		}
 		e.now = it.at
+		if e.tracer != nil {
+			e.tracer.Emit(e.now, "sim", "fire", it.seq, 0, "")
+		}
 		e.fire(it.ev)
 	}
 	return e.now
@@ -175,6 +207,9 @@ type resumeMsg struct {
 
 // resume hands control to process p and blocks until it yields back.
 func (e *Env) resume(p *Proc, m resumeMsg) {
+	if e.tracer != nil && !m.abort {
+		e.tracer.Emit(e.now, "sim", "resume", p.id, 0, p.name)
+	}
 	p.resume <- m
 	<-e.yield
 }
@@ -186,12 +221,24 @@ func (e *Env) Blocked() int { return len(e.live) }
 
 // Shutdown aborts every live process: each blocked process's wait panics
 // with an internal sentinel that the process wrapper recovers. Use it in
-// tests to avoid goroutine leaks from server-style processes.
+// tests to avoid goroutine leaks from server-style processes. Processes are
+// unwound in spawn order, so shutdown — like everything else on the
+// environment — is deterministic and safe to include in a trace digest.
 func (e *Env) Shutdown() {
 	for len(e.live) > 0 {
+		procs := make([]*Proc, 0, len(e.live))
 		for p := range e.live {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+		for _, p := range procs {
+			if _, alive := e.live[p]; !alive {
+				continue // unwound as a side effect of an earlier abort
+			}
+			if e.tracer != nil {
+				e.tracer.Emit(e.now, "sim", "abort", p.id, 0, p.name)
+			}
 			e.resume(p, resumeMsg{abort: true})
-			break
 		}
 	}
 }
@@ -202,13 +249,18 @@ func (e *Env) Shutdown() {
 // context, or scheduled for the same timestamp when called from another
 // process. Go returns a *Proc handle whose Done event fires when fn returns.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	e.procSeq++
 	p := &Proc{
 		env:    e,
+		id:     e.procSeq,
 		name:   name,
 		resume: make(chan resumeMsg),
 		doneEv: e.NewEvent(),
 	}
 	e.live[p] = struct{}{}
+	if e.tracer != nil {
+		e.tracer.Emit(e.now, "sim", "spawn", p.id, 0, name)
+	}
 	go func() {
 		m := <-p.resume // wait for first activation
 		// The completion handoff runs as a deferred function so that it

@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+
+	"bmstore/internal/trace"
 )
 
 func TestTimeoutAdvancesClock(t *testing.T) {
@@ -442,5 +444,51 @@ func TestResourceMakespanProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestShutdownWithPendingEvents(t *testing.T) {
+	env := NewEnv(1)
+	fired := false
+	// A callback far in the future plus a proc sleeping toward it: both are
+	// still pending when Shutdown runs and must simply be dropped.
+	env.Schedule(1e12, func() { fired = true })
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(1e12)
+		fired = true
+	})
+	env.Go("waiter", func(p *Proc) {
+		p.Wait(env.NewEvent()) // never fires
+	})
+	env.RunUntil(1000)
+	env.Shutdown()
+	if env.Blocked() != 0 {
+		t.Fatalf("blocked after shutdown: %d", env.Blocked())
+	}
+	if fired {
+		t.Fatal("pending work ran despite shutdown")
+	}
+	// Shutdown must be idempotent even with the queue still holding the
+	// far-future timer.
+	env.Shutdown()
+}
+
+func TestShutdownAbortOrderDeterministic(t *testing.T) {
+	// Procs are aborted in spawn order regardless of map iteration: with a
+	// tracer attached, two identical runs must produce identical digests
+	// even when Shutdown reaps many blocked procs.
+	digest := func() string {
+		tr := trace.NewDigest()
+		env := NewEnv(9)
+		env.SetTracer(tr)
+		for i := 0; i < 32; i++ {
+			env.Go("blocked", func(p *Proc) { p.Wait(env.NewEvent()) })
+		}
+		env.Run()
+		env.Shutdown()
+		return tr.Digest()
+	}
+	if a, b := digest(), digest(); a != b {
+		t.Fatalf("shutdown order nondeterministic: %s vs %s", a, b)
 	}
 }

@@ -141,6 +141,9 @@ func TestVhostRandRead128(t *testing.T) {
 // More cores serve more bandwidth, but cross-core contention keeps eight
 // cores on four SSDs near 80% of native (Fig. 1's shape).
 func TestVhostMultiCoreScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaling sweep")
+	}
 	bw := func(cores int) float64 {
 		env := sim.NewEnv(9)
 		h := host.New(env, 768<<30, spdkvhost.PolledKernel())

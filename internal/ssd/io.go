@@ -46,12 +46,18 @@ func (d *SSD) execIO(p *sim.Proc, cmd nvme.Command) nvme.Status {
 	}
 	start := p.Now()
 	devByte := (ns.startLBA + slba) * BlockSize
+	if d.tr != nil {
+		d.tr.Emit(start, "ssd", "issue", uint64(cmd.Opcode)<<56|devByte, uint64(n), d.cfg.Serial)
+	}
 	if cmd.Opcode == nvme.IORead {
 		d.doRead(p, devByte, segs, n)
 		d.ReadStats.Record(n, p.Now()-start)
 	} else {
 		d.doWrite(p, devByte, segs, n)
 		d.WriteStats.Record(n, p.Now()-start)
+	}
+	if d.tr != nil {
+		d.tr.Emit(p.Now(), "ssd", "complete", uint64(cmd.Opcode)<<56|devByte, uint64(p.Now()-start), d.cfg.Serial)
 	}
 	return nvme.StatusSuccess
 }

@@ -19,6 +19,7 @@ import (
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/stats"
+	"bmstore/internal/trace"
 )
 
 // Config holds the performance and identity parameters of one SSD.
@@ -141,6 +142,7 @@ type SSD struct {
 	env  *sim.Env
 	cfg  Config
 	port *pcie.Port
+	tr   *trace.Tracer
 
 	ready     bool
 	resetting bool
@@ -181,6 +183,7 @@ func New(env *sim.Env, cfg Config) *SSD {
 	d := &SSD{
 		env:        env,
 		cfg:        cfg,
+		tr:         env.Tracer(),
 		sqs:        make(map[uint16]*subQueue),
 		cqs:        make(map[uint16]*compQueue),
 		nss:        make(map[uint32]*namespace),

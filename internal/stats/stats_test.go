@@ -156,3 +156,57 @@ func TestSeries(t *testing.T) {
 		t.Fatal("out of range rate should be 0")
 	}
 }
+
+func TestHistPercentileDegenerateQ(t *testing.T) {
+	// Out-of-range quantiles must clamp to min/max, never index off the
+	// bucket array — including on an empty histogram, where everything is 0.
+	var empty Hist
+	for _, q := range []float64{-1, -0.001, 0, 0.5, 1, 1.5, 100} {
+		if got := empty.Percentile(q); got != 0 {
+			t.Fatalf("empty p%v = %d, want 0", q, got)
+		}
+	}
+	var h Hist
+	for v := int64(10); v <= 1000; v += 10 {
+		h.Record(v)
+	}
+	if got := h.Percentile(-3); got != h.Min() {
+		t.Fatalf("p(-3) = %d, want min %d", got, h.Min())
+	}
+	if got := h.Percentile(7); got != h.Max() {
+		t.Fatalf("p(7) = %d, want max %d", got, h.Max())
+	}
+}
+
+func TestHistMergeEmpty(t *testing.T) {
+	var a, empty Hist
+	a.Record(5)
+	a.Record(50)
+	before := a
+	a.Merge(&empty) // no-op
+	if a != before {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+	empty.Merge(&a) // adopt a's samples wholesale
+	if empty.N() != 2 || empty.Min() != 5 || empty.Max() != 50 {
+		t.Fatalf("empty.Merge(a): n=%d min=%d max=%d", empty.N(), empty.Min(), empty.Max())
+	}
+}
+
+func TestHistResetThenReuse(t *testing.T) {
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Record(int64(i))
+	}
+	h.Reset()
+	if h.N() != 0 || h.Mean() != 0 || h.Percentile(0.99) != 0 {
+		t.Fatal("reset histogram not empty")
+	}
+	// Stale min/max or counts from before the reset must not leak into new
+	// samples.
+	h.Record(42)
+	if h.N() != 1 || h.Min() != 42 || h.Max() != 42 || h.Percentile(0.5) != 42 {
+		t.Fatalf("after reset+record: n=%d min=%d max=%d p50=%d",
+			h.N(), h.Min(), h.Max(), h.Percentile(0.5))
+	}
+}
