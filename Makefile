@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint determinism bench-smoke flaky
+.PHONY: all build test race race-runner lint determinism bench-smoke bench-gate flaky
 
 all: build test
 
@@ -14,6 +14,12 @@ test:
 # guards so the race detector's ~10x slowdown stays within CI budget.
 race:
 	$(GO) test -race -short ./...
+
+# The parallel fan-out path under the race detector, uncached: the worker
+# pool's claiming/panic plumbing plus the serial-vs-parallel equivalence
+# sweep that runs real rigs on concurrent goroutines.
+race-runner:
+	$(GO) test -race -count=1 -run 'Pool|Harness|SerialParallel|SetDigest' ./internal/experiments/ ./internal/trace/
 
 lint:
 	@fmt_out=$$(gofmt -l .); \
@@ -31,6 +37,11 @@ determinism:
 # gives a cheap overhead spot-check without a full measurement run.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Alloc-regression gate: the kernel throughput benchmarks must stay at the
+# committed allocs/op baseline (scripts/bench_allocs_baseline.txt).
+bench-gate:
+	sh scripts/check_bench_allocs.sh
 
 # Flakiness sweep: the full suite twice, fresh processes, no test cache.
 flaky:

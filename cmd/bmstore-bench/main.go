@@ -3,27 +3,37 @@
 //
 // Usage:
 //
-//	bmstore-bench [-scale fast|full] [-only fig8,fig11,...] [-list]
+//	bmstore-bench [-scale fast|full] [-parallel N] [-only fig8,fig11,...] [-list]
+//
+// Independent rigs (each fio cell, each seed, each VM-count point) fan out
+// on a bounded worker pool; -parallel 1 and -parallel N produce
+// byte-identical stdout, because rows are assembled in cell order and each
+// rig owns a private simulation environment. Timing goes to stderr so
+// stdout stays deterministic and diffable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"bmstore/internal/experiments"
-	"bmstore/internal/sim"
 	"bmstore/internal/trace"
 )
 
 func main() {
 	scale := flag.String("scale", "fast", "run scale: fast or full")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent rigs (1 = serial)")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	traceOut := flag.String("trace", "", "write a human-readable event trace to this file (- for stderr)")
 	traceDigest := flag.Bool("trace-digest", false, "compute and print a determinism digest over all runs")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -50,16 +60,30 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	// Experiments build their simulation environments internally, so the
-	// tracer is installed as the process-wide default rather than through a
-	// Config. The digest then covers every environment the run creates.
-	var tr *trace.Tracer
-	if *traceOut != "" || *traceDigest {
-		opts := trace.Options{}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Each rig gets a private child tracer from the Set; the combined digest
+	// folds per-rig digests in sorted-name order, so it is identical no
+	// matter how many workers executed the sweep. Dumps buffer per rig and
+	// are flushed grouped by rig name, so they too are order-independent.
+	var dump *os.File
+	if *traceOut != "" {
 		switch *traceOut {
-		case "":
 		case "-":
-			opts.Dump = os.Stderr
+			dump = os.Stderr
 		default:
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -67,27 +91,52 @@ func main() {
 				os.Exit(1)
 			}
 			defer f.Close()
-			opts.Dump = f
+			dump = f
 		}
-		tr = trace.New(opts)
-		sim.SetDefaultTracer(tr)
+	}
+	var traces *trace.Set
+	if dump != nil || *traceDigest {
+		var opts trace.Options
+		if dump != nil {
+			opts.Dump = dump // destination flag; children buffer privately
+		}
+		traces = trace.NewSet(opts)
 	}
 
+	h := experiments.NewHarness(sc, *parallel, traces)
+
 	fmt.Printf("BM-Store evaluation reproduction (scale=%s)\n\n", sc.Name)
+	sweepStart := time.Now()
 	for _, e := range all {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
 		start := time.Now()
-		tab := e.Run(sc)
-		tab.Notes = append(tab.Notes, fmt.Sprintf("wall time: %.1fs", time.Since(start).Seconds()))
+		tab := e.Run(h)
+		fmt.Fprintf(os.Stderr, "%-8s %5.1fs wall\n", e.ID, time.Since(start).Seconds())
 		tab.Render(os.Stdout)
 	}
-	if tr != nil {
-		if err := tr.Flush(); err != nil {
+	fmt.Fprintf(os.Stderr, "sweep    %5.1fs wall (parallel=%d)\n", time.Since(sweepStart).Seconds(), h.Parallelism())
+	if traces != nil {
+		if dump != nil {
+			if err := traces.Flush(dump); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("trace: %d rigs, %d events, digest %s\n", traces.Rigs(), traces.Events(), traces.Digest())
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace: %d events, digest %s\n", tr.Events(), tr.Digest())
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -8,15 +8,24 @@
 //	       -runtime 100ms -ssds 1
 //
 // Schemes: native, vfio, bmstore, bmstore-vm, spdk.
+//
+// -runs N replays the same workload on N independent rigs seeded seed,
+// seed+1, ..., seed+N-1 and reports each run plus an aggregate — the quick
+// way to check a result is not a seed artifact. Runs are independent
+// simulations, so -parallel M executes up to M of them concurrently;
+// stdout (results and digests, in seed order) is byte-identical for any M —
+// timing goes to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"bmstore"
+	"bmstore/internal/experiments"
 	"bmstore/internal/fio"
 	"bmstore/internal/host"
 	"bmstore/internal/sim"
@@ -30,12 +39,14 @@ func main() {
 	bs := flag.Int("bs", 4096, "block size in bytes")
 	iodepth := flag.Int("iodepth", 128, "outstanding I/Os per job")
 	numjobs := flag.Int("numjobs", 4, "concurrent jobs")
-	runtime := flag.Duration("runtime", 100*time.Millisecond, "virtual measurement window")
+	runtimeF := flag.Duration("runtime", 100*time.Millisecond, "virtual measurement window")
 	ramp := flag.Duration("ramp", 10*time.Millisecond, "virtual warm-up window")
 	ssds := flag.Int("ssds", 1, "backend SSDs (namespace striped across them for bmstore)")
-	seed := flag.Int64("seed", 42, "simulation seed")
+	seed := flag.Int64("seed", 42, "simulation seed (first seed with -runs > 1)")
+	runs := flag.Int("runs", 1, "independent rigs, seeded seed..seed+runs-1")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent rigs (1 = serial)")
 	traceOut := flag.String("trace", "", "write a human-readable event trace to this file (- for stdout)")
-	traceDigest := flag.Bool("trace-digest", false, "compute and print the run's determinism digest")
+	traceDigest := flag.Bool("trace-digest", false, "compute and print each run's determinism digest")
 	traceSHA := flag.Bool("trace-sha256", false, "use SHA-256 for the digest instead of the fast 64-bit digest")
 	flag.Parse()
 
@@ -55,48 +66,113 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown rw %q\n", *rw)
 		os.Exit(2)
 	}
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "-runs must be >= 1")
+		os.Exit(2)
+	}
 	spec := fio.Spec{
 		Name: *rw, Pattern: pat, BlockSize: *bs,
 		IODepth: *iodepth, NumJobs: *numjobs,
-		Runtime: sim.Time(runtime.Nanoseconds()), Ramp: sim.Time(ramp.Nanoseconds()),
+		Runtime: sim.Time(runtimeF.Nanoseconds()), Ramp: sim.Time(ramp.Nanoseconds()),
 	}
 
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.NumSSDs = *ssds
-
-	var tr *trace.Tracer
-	if *traceOut != "" || *traceDigest || *traceSHA {
-		opts := trace.Options{SHA256: *traceSHA}
-		var f *os.File
+	var dump *os.File
+	if *traceOut != "" {
 		switch *traceOut {
-		case "":
 		case "-":
-			opts.Dump = os.Stdout
+			dump = os.Stdout
 		default:
-			var err error
-			if f, err = os.Create(*traceOut); err != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			defer f.Close()
-			opts.Dump = f
+			dump = f
 		}
-		tr = trace.New(opts)
-		cfg.Tracer = tr
+	}
+	var traces *trace.Set
+	if dump != nil || *traceDigest || *traceSHA {
+		opts := trace.Options{SHA256: *traceSHA}
+		if dump != nil {
+			opts.Dump = dump // destination flag; runs buffer privately
+		}
+		traces = trace.NewSet(opts)
 	}
 
-	var res *fio.Result
+	results := make([]*fio.Result, *runs)
+	tracers := make([]*trace.Tracer, *runs)
 	start := time.Now()
-	switch *scheme {
+	experiments.NewPool(*parallel).Each(*runs, func(i int) {
+		cfg := bmstore.DefaultConfig()
+		cfg.Seed = *seed + int64(i)
+		cfg.NumSSDs = *ssds
+		if traces != nil {
+			tracers[i] = traces.Tracer(fmt.Sprintf("run%04d", i))
+			cfg.Tracer = tracers[i]
+		}
+		results[i] = runOne(cfg, *scheme, *ssds, spec)
+	})
+	wall := time.Since(start).Seconds()
+
+	fmt.Printf("%s on %s (%d SSDs): bs=%d iodepth=%d numjobs=%d\n",
+		*rw, *scheme, *ssds, *bs, *iodepth, *numjobs)
+	if *runs == 1 {
+		printResult(results[0])
+		fmt.Fprintf(os.Stderr, "(simulated %v in %.1fs wall)\n", *runtimeF, wall)
+		if tracers[0] != nil {
+			fmt.Printf("  trace     : %d events, digest %s\n", tracers[0].Events(), tracers[0].Digest())
+		}
+	} else {
+		var sum, min, max float64
+		for i, res := range results {
+			iops := res.IOPS()
+			sum += iops
+			if i == 0 || iops < min {
+				min = iops
+			}
+			if i == 0 || iops > max {
+				max = iops
+			}
+			line := fmt.Sprintf("  run %-3d seed %-6d: %8.0f IOPS  %8.1f MB/s  %6.1f us",
+				i, *seed+int64(i), iops, res.BandwidthMBs(), res.AvgLatencyUS())
+			if tracers[i] != nil {
+				line += "  " + tracers[i].Digest()
+			}
+			fmt.Println(line)
+		}
+		mean := sum / float64(*runs)
+		fmt.Printf("  IOPS mean : %.0f  (min %.0f, max %.0f, spread %.1f%%)\n",
+			mean, min, max, (max-min)/mean*100)
+		fmt.Fprintf(os.Stderr, "(%d runs x %v simulated in %.1fs wall, parallel=%d)\n",
+			*runs, *runtimeF, wall, *parallel)
+	}
+	if traces != nil {
+		if dump != nil {
+			if err := traces.Flush(dump); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *runs > 1 {
+			fmt.Printf("  trace     : %d events across %d rigs, combined digest %s\n",
+				traces.Events(), traces.Rigs(), traces.Digest())
+		}
+	}
+}
+
+// runOne builds the scheme's rig on a private environment and runs spec.
+func runOne(cfg bmstore.Config, scheme string, ssds int, spec fio.Spec) *fio.Result {
+	var res *fio.Result
+	switch scheme {
 	case "native", "vfio", "spdk":
-		if *scheme == "spdk" {
+		if scheme == "spdk" {
 			cfg.Kernel = spdkvhost.PolledKernel()
 		}
 		tb := bmstore.NewDirectTestbed(cfg)
 		tb.Run(func(p *sim.Proc) {
 			dcfg := host.DefaultDriverConfig()
-			if *scheme == "vfio" {
+			if scheme == "vfio" {
 				vm := host.KVMGuest()
 				dcfg.VM = &vm
 			}
@@ -105,7 +181,7 @@ func main() {
 				panic(err)
 			}
 			var devs []host.BlockDevice
-			if *scheme == "spdk" {
+			if scheme == "spdk" {
 				tgt := spdkvhost.NewTarget(tb.Env, spdkvhost.DefaultConfig(), 1)
 				vdev := tgt.NewDevice(drv.BlockDev(0), host.CentOS("3.10.0"))
 				for i := 0; i < spec.NumJobs; i++ {
@@ -122,7 +198,7 @@ func main() {
 		tb := bmstore.NewBMStoreTestbed(cfg)
 		tb.Run(func(p *sim.Proc) {
 			var stripe []int
-			for i := 0; i < *ssds; i++ {
+			for i := 0; i < ssds; i++ {
 				stripe = append(stripe, i)
 			}
 			if err := tb.Console.CreateNamespace(p, "vol0", 1536<<30, stripe); err != nil {
@@ -132,7 +208,7 @@ func main() {
 				panic(err)
 			}
 			dcfg := host.DefaultDriverConfig()
-			if *scheme == "bmstore-vm" {
+			if scheme == "bmstore-vm" {
 				vm := host.KVMGuest()
 				dcfg.VM = &vm
 			}
@@ -147,12 +223,13 @@ func main() {
 			res = fio.Run(p, devs, spec)
 		})
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", scheme)
 		os.Exit(2)
 	}
+	return res
+}
 
-	fmt.Printf("%s on %s (%d SSDs): bs=%d iodepth=%d numjobs=%d\n",
-		*rw, *scheme, *ssds, *bs, *iodepth, *numjobs)
+func printResult(res *fio.Result) {
 	fmt.Printf("  IOPS      : %.0f\n", res.IOPS())
 	fmt.Printf("  bandwidth : %.1f MB/s\n", res.BandwidthMBs())
 	fmt.Printf("  avg lat   : %.1f us\n", res.AvgLatencyUS())
@@ -163,13 +240,5 @@ func main() {
 		h := res.Read.Lat
 		h.Merge(&res.Write.Lat)
 		fmt.Printf("  %-9s : %.1f us\n", q.n, float64(h.Percentile(q.v))/1e3)
-	}
-	fmt.Printf("  (simulated %v in %.1fs wall)\n", *runtime, time.Since(start).Seconds())
-	if tr != nil {
-		if err := tr.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("  trace     : %d events, digest %s\n", tr.Events(), tr.Digest())
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"sort"
 
 	"bmstore/internal/host"
 	"bmstore/internal/sim"
@@ -296,12 +297,21 @@ func (db *DB) Checkpoint(p *sim.Proc) error {
 	var rec journalRec
 	var images [][]byte
 	versions := make(map[pageID]uint64)
+	// Snapshot in sorted page order: map iteration order must not leak
+	// into the journal layout or the write sequence, or the trace digest
+	// stops being a pure function of the seed.
+	var dirty []pageID
 	for id, f := range db.pool.frames {
 		if f.dirty {
-			rec.Pages = append(rec.Pages, id)
-			images = append(images, append([]byte(nil), f.data...))
-			versions[id] = f.version
+			dirty = append(dirty, id)
 		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	for _, id := range dirty {
+		f := db.pool.frames[id]
+		rec.Pages = append(rec.Pages, id)
+		images = append(images, append([]byte(nil), f.data...))
+		versions[id] = f.version
 	}
 	newRoot, newNext := db.root, db.pool.nextPage
 	oldLSN := db.ckptLSN

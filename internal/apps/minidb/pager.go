@@ -8,6 +8,8 @@
 package minidb
 
 import (
+	"sort"
+
 	"bmstore/internal/host"
 	"bmstore/internal/sim"
 )
@@ -196,6 +198,9 @@ func (pg *pager) flushAll(p *sim.Proc) error {
 	for id := range pg.frames {
 		ids = append(ids, id)
 	}
+	// Sorted, not map order: the writeback sequence is device I/O and must
+	// be a pure function of the workload for the determinism digests.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		if f, ok := pg.frames[id]; ok && f.dirty {
 			if err := pg.writeback(p, f); err != nil {

@@ -15,27 +15,35 @@ import (
 // data stages through engine DRAM, and the aggregate bandwidth of four
 // SSDs collapses to the staging memory's bandwidth — exactly the
 // "duplicate data copies will seriously affect I/O performance" argument.
-func AblationZeroCopy(sc Scale) *Table {
+func AblationZeroCopy(h *Harness) *Table {
 	tab := &Table{
 		ID:     "abl-zerocopy",
 		Title:  "Ablation: global-PRP zero-copy routing vs store-and-forward staging",
 		Header: []string{"engine mode", "4-SSD seq read (GB/s)", "rand-r-1 lat (us)"},
 		Notes:  []string{"store-and-forward staged through one DDR4 channel (6.4 GB/s)"},
 	}
-	for _, mode := range []bool{false, true} {
-		bw, lat := zeroCopyPoint(sc, mode)
+	modes := []bool{false, true}
+	type point struct{ bw, lat float64 }
+	pts := make([]point, len(modes))
+	h.each(len(modes), func(i int) {
+		name := "zerocopy"
+		if modes[i] {
+			name = "saf"
+		}
+		cfg := h.config(fmt.Sprintf("abl-zerocopy/%s", name), 1700)
+		pts[i].bw, pts[i].lat = zeroCopyPoint(cfg, h.Scale, modes[i])
+	})
+	for i, mode := range modes {
 		name := "zero-copy (BM-Store)"
 		if mode {
 			name = "store-and-forward"
 		}
-		tab.Rows = append(tab.Rows, []string{name, fmt.Sprintf("%.2f", bw/1000), f1(lat)})
+		tab.Rows = append(tab.Rows, []string{name, fmt.Sprintf("%.2f", pts[i].bw/1000), f1(pts[i].lat)})
 	}
 	return tab
 }
 
-func zeroCopyPoint(sc Scale, storeAndForward bool) (mbs, latUS float64) {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = 1700
+func zeroCopyPoint(cfg bmstore.Config, sc Scale, storeAndForward bool) (mbs, latUS float64) {
 	cfg.NumSSDs = 4
 	cfg.Engine.StoreAndForward = storeAndForward
 	tb := bmstore.NewBMStoreTestbed(cfg)
@@ -74,26 +82,34 @@ func zeroCopyPoint(sc Scale, storeAndForward bool) (mbs, latUS float64) {
 // AblationQoS demonstrates the QoS module (Fig. 5): a noisy neighbour
 // floods sequential writes while a latency-sensitive tenant does QD1
 // reads; capping the neighbour restores the victim's latency.
-func AblationQoS(sc Scale) *Table {
+func AblationQoS(h *Harness) *Table {
 	tab := &Table{
 		ID:     "abl-qos",
 		Title:  "Ablation: QoS isolation against a noisy neighbour (shared SSD)",
 		Header: []string{"neighbour QoS", "victim p99 read lat (us)", "neighbour MB/s"},
 	}
-	for _, capped := range []bool{false, true} {
-		p99, bw := qosPoint(sc, capped)
+	caps := []bool{false, true}
+	type point struct{ p99, bw float64 }
+	pts := make([]point, len(caps))
+	h.each(len(caps), func(i int) {
+		name := "unlimited"
+		if caps[i] {
+			name = "capped"
+		}
+		cfg := h.config(fmt.Sprintf("abl-qos/%s", name), 1800)
+		pts[i].p99, pts[i].bw = qosPoint(cfg, h.Scale, caps[i])
+	})
+	for i, capped := range caps {
 		name := "unlimited"
 		if capped {
 			name = "capped 200 MB/s"
 		}
-		tab.Rows = append(tab.Rows, []string{name, f1(p99), f0(bw)})
+		tab.Rows = append(tab.Rows, []string{name, f1(pts[i].p99), f0(pts[i].bw)})
 	}
 	return tab
 }
 
-func qosPoint(sc Scale, capped bool) (victimP99US, neighbourMBs float64) {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = 1800
+func qosPoint(cfg bmstore.Config, sc Scale, capped bool) (victimP99US, neighbourMBs float64) {
 	cfg.NumSSDs = 1
 	tb := bmstore.NewBMStoreTestbed(cfg)
 	tb.Run(func(p *sim.Proc) {

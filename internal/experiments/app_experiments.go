@@ -20,10 +20,9 @@ import (
 var appSchemes = []string{"VFIO", "BM-Store", "SPDK vhost"}
 
 // withSchemeDevice builds the rig for one scheme and hands fn a guest
-// block device with data capture on (applications need real bytes).
-func withSchemeDevice(scheme string, seed int64, fn func(p *sim.Proc, env *sim.Env, bd host.BlockDevice)) {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = seed
+// block device with data capture on (applications need real bytes). cfg
+// carries the rig's seed and tracer.
+func withSchemeDevice(scheme string, cfg bmstore.Config, fn func(p *sim.Proc, env *sim.Env, bd host.BlockDevice)) {
 	cfg.NumSSDs = 1
 	cfg.CaptureData = true
 	vm := host.KVMGuest()
@@ -73,8 +72,10 @@ func withSchemeDevice(scheme string, seed int64, fn func(p *sim.Proc, env *sim.E
 }
 
 // Fig13a reproduces the TPC-C comparison: transactions per scheme,
-// normalised to VFIO (the paper's native baseline).
-func Fig13a(sc Scale) *Table {
+// normalised to VFIO (the paper's native baseline). One cell per scheme;
+// normalisation happens after all cells complete.
+func Fig13a(h *Harness) *Table {
+	sc := h.Scale
 	tab := &Table{
 		ID:     "fig13a",
 		Title:  "MySQL/TPC-C: normalized transactions per scheme",
@@ -86,10 +87,11 @@ func Fig13a(sc Scale) *Table {
 	tcfg.ItemsPerWarehouse /= sc.AppLoadCut
 	tcfg.CustomersPerDistrict /= sc.AppLoadCut
 	tcfg.Duration = sc.AppDuration
-	var base float64
-	for i, scheme := range appSchemes {
-		var res *tpcc.Result
-		withSchemeDevice(scheme, int64(1300+i), func(p *sim.Proc, env *sim.Env, bd host.BlockDevice) {
+	results := make([]*tpcc.Result, len(appSchemes))
+	h.each(len(appSchemes), func(i int) {
+		scheme := appSchemes[i]
+		cfg := h.config(fmt.Sprintf("fig13a/%s", scheme), int64(1300+i))
+		withSchemeDevice(scheme, cfg, func(p *sim.Proc, env *sim.Env, bd host.BlockDevice) {
 			// Buffer pool scaled with the dataset so reads miss at a
 			// realistic rate (the paper's 100-warehouse database dwarfed
 			// MySQL's pool; the comparison is storage-bound).
@@ -102,11 +104,12 @@ func Fig13a(sc Scale) *Table {
 			if err := tpcc.Load(p, db, tcfg); err != nil {
 				panic(err)
 			}
-			res = tpcc.Run(p, env, db, tcfg)
+			results[i] = tpcc.Run(p, env, db, tcfg)
 		})
-		if i == 0 {
-			base = float64(res.Total())
-		}
+	})
+	base := float64(results[0].Total())
+	for i, scheme := range appSchemes {
+		res := results[i]
 		tab.Rows = append(tab.Rows, []string{
 			scheme, f0(res.TpmC()), fmt.Sprint(res.Total()),
 			fmt.Sprintf("%.3f", float64(res.Total())/base),
@@ -117,7 +120,8 @@ func Fig13a(sc Scale) *Table {
 
 // Fig13bTable8 reproduces the Sysbench comparison: queries/transactions
 // (Fig. 13b) and average latency (Table VIII).
-func Fig13bTable8(sc Scale) *Table {
+func Fig13bTable8(h *Harness) *Table {
+	sc := h.Scale
 	tab := &Table{
 		ID:     "fig13b+table8",
 		Title:  "MySQL/Sysbench OLTP: throughput and latency per scheme",
@@ -127,10 +131,11 @@ func Fig13bTable8(sc Scale) *Table {
 	scfg := sysbench.DefaultConfig()
 	scfg.TableSize /= sc.AppLoadCut
 	scfg.Duration = sc.AppDuration
-	var baseQPS, baseLat float64
-	for i, scheme := range appSchemes {
-		var res *sysbench.Result
-		withSchemeDevice(scheme, int64(1400+i), func(p *sim.Proc, env *sim.Env, bd host.BlockDevice) {
+	results := make([]*sysbench.Result, len(appSchemes))
+	h.each(len(appSchemes), func(i int) {
+		scheme := appSchemes[i]
+		cfg := h.config(fmt.Sprintf("fig13b/%s", scheme), int64(1400+i))
+		withSchemeDevice(scheme, cfg, func(p *sim.Proc, env *sim.Env, bd host.BlockDevice) {
 			dbc := minidb.DefaultConfig()
 			dbc.PoolPages = 256
 			db, err := minidb.Open(p, env, bd, dbc)
@@ -140,11 +145,12 @@ func Fig13bTable8(sc Scale) *Table {
 			if err := sysbench.Load(p, db, scfg); err != nil {
 				panic(err)
 			}
-			res = sysbench.Run(p, env, db, scfg)
+			results[i] = sysbench.Run(p, env, db, scfg)
 		})
-		if i == 0 {
-			baseQPS, baseLat = res.QPS(), res.AvgLatencyMS()
-		}
+	})
+	baseQPS, baseLat := results[0].QPS(), results[0].AvgLatencyMS()
+	for i, scheme := range appSchemes {
+		res := results[i]
 		tab.Rows = append(tab.Rows, []string{
 			scheme, f0(res.QPS()), f0(res.TPS()), fmt.Sprintf("%.2f", res.AvgLatencyMS()),
 			fmt.Sprintf("%.3f", res.QPS()/baseQPS),
@@ -156,23 +162,24 @@ func Fig13bTable8(sc Scale) *Table {
 
 // Fig14 reproduces the mixed-workload experiment: four VMs on four SSDs —
 // two running RocksDB/YCSB-A, two running MySQL/Sysbench — per scheme.
-func Fig14(sc Scale) *Table {
+func Fig14(h *Harness) *Table {
 	tab := &Table{
 		ID:     "fig14",
 		Title:  "Mixed workloads in 4 VMs: RocksDB/YCSB throughput and MySQL latency",
 		Header: []string{"scheme", "ycsb VM1 (ops/s)", "ycsb VM2 (ops/s)", "mysql VM3 lat(ms)", "mysql VM4 lat(ms)"},
 		Notes:  []string{"paper: BM-Store near native with consistent per-VM performance (isolation)"},
 	}
-	for i, scheme := range appSchemes {
-		row := fig14Row(sc, scheme, int64(1500+10*i))
-		tab.Rows = append(tab.Rows, row)
-	}
+	rows := make([][]string, len(appSchemes))
+	h.each(len(appSchemes), func(i int) {
+		scheme := appSchemes[i]
+		cfg := h.config(fmt.Sprintf("fig14/%s", scheme), int64(1500+10*i))
+		rows[i] = fig14Row(cfg, h.Scale, scheme)
+	})
+	tab.Rows = rows
 	return tab
 }
 
-func fig14Row(sc Scale, scheme string, seed int64) []string {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = seed
+func fig14Row(cfg bmstore.Config, sc Scale, scheme string) []string {
 	cfg.NumSSDs = 4
 	cfg.CaptureData = true
 	vm := host.KVMGuest()

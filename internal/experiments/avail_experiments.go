@@ -21,20 +21,28 @@ import (
 // runs quick, the full scale keeps the real window. The tenant workload is
 // QoS-capped so the 20+ simulated seconds stay tractable; the pause shape
 // is rate-independent.
-func Table9Fig15(sc Scale) *Table {
+func Table9Fig15(h *Harness) *Table {
+	sc := h.Scale
 	tab := &Table{
 		ID:     "table9+fig15",
 		Title:  "Firmware hot-upgrade under live I/O: timings and IOPS timeline",
 		Header: []string{"pattern", "upgrade", "total(ms)", "ssd reset(ms)", "bm-store proc(ms)", "io pause(ms)", "errors"},
 		Notes:  []string{"paper: total 6-9 s per upgrade, ~100 ms BM-Store processing, no tenant I/O errors"},
 	}
-	for _, pattern := range []fio.Pattern{fio.RandRead, fio.RandWrite} {
-		rows, series := hotUpgradeRun(sc, pattern)
-		tab.Rows = append(tab.Rows, rows...)
+	patterns := []fio.Pattern{fio.RandRead, fio.RandWrite}
+	allRows := make([][][]string, len(patterns))
+	allSeries := make([]*stats.Series, len(patterns))
+	h.each(len(patterns), func(i int) {
+		pattern := patterns[i]
+		cfg := h.config(fmt.Sprintf("table9/%s", pattern), 1600+int64(pattern))
+		allRows[i], allSeries[i] = hotUpgradeRun(cfg, sc, pattern)
+	})
+	for i, pattern := range patterns {
+		tab.Rows = append(tab.Rows, allRows[i]...)
 		// Compact Fig. 15 timeline: kIOPS per second of virtual time.
 		line := fmt.Sprintf("fig15 %s kIOPS/bin:", pattern)
-		for i := range series.Bins {
-			line += fmt.Sprintf(" %.1f", series.Rate(i)/1000)
+		for b := range allSeries[i].Bins {
+			line += fmt.Sprintf(" %.1f", allSeries[i].Rate(b)/1000)
 		}
 		tab.Notes = append(tab.Notes, line)
 	}
@@ -42,9 +50,7 @@ func Table9Fig15(sc Scale) *Table {
 }
 
 // hotUpgradeRun drives one pattern across two hot-upgrades.
-func hotUpgradeRun(sc Scale, pattern fio.Pattern) ([][]string, *stats.Series) {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = 1600 + int64(pattern)
+func hotUpgradeRun(cfg bmstore.Config, sc Scale, pattern fio.Pattern) ([][]string, *stats.Series) {
 	cfg.NumSSDs = 1
 	fwMin, fwMax := sc.FWCommitMin, sc.FWCommitMax
 	cfg.SSD = func(i int) ssd.Config {

@@ -129,10 +129,10 @@ func fioDevs(drv *host.Driver, jobs int) []host.BlockDevice {
 	return devs
 }
 
-// nativeFio runs one fio spec on a bare-metal native disk.
-func nativeFio(spec fio.Spec, seed int64) *fio.Result {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = seed
+// nativeFio runs one fio spec on a bare-metal native disk. cfg carries the
+// rig's seed and tracer (see Harness.config); the helpers below only adjust
+// topology.
+func nativeFio(cfg bmstore.Config, spec fio.Spec) *fio.Result {
 	cfg.NumSSDs = 1
 	tb := bmstore.NewDirectTestbed(cfg)
 	var res *fio.Result
@@ -148,9 +148,7 @@ func nativeFio(spec fio.Spec, seed int64) *fio.Result {
 
 // bmstoreFio runs one fio spec on a BM-Store virtual disk (bare-metal
 // tenant when vm is nil, guest otherwise).
-func bmstoreFio(spec fio.Spec, seed int64, nsBytes uint64, vm *host.VMProfile) *fio.Result {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = seed
+func bmstoreFio(cfg bmstore.Config, spec fio.Spec, nsBytes uint64, vm *host.VMProfile) *fio.Result {
 	cfg.NumSSDs = 1
 	tb := bmstore.NewBMStoreTestbed(cfg)
 	var res *fio.Result
@@ -173,9 +171,7 @@ func bmstoreFio(spec fio.Spec, seed int64, nsBytes uint64, vm *host.VMProfile) *
 }
 
 // vfioFio runs one fio spec on a passed-through native disk inside a VM.
-func vfioFio(spec fio.Spec, seed int64) *fio.Result {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = seed
+func vfioFio(cfg bmstore.Config, spec fio.Spec) *fio.Result {
 	cfg.NumSSDs = 1
 	tb := bmstore.NewDirectTestbed(cfg)
 	var res *fio.Result
@@ -194,9 +190,7 @@ func vfioFio(spec fio.Spec, seed int64) *fio.Result {
 
 // spdkFio runs one fio spec in a VM whose disk is an SPDK vhost device
 // with one dedicated polling core.
-func spdkFio(spec fio.Spec, seed int64) *fio.Result {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = seed
+func spdkFio(cfg bmstore.Config, spec fio.Spec) *fio.Result {
 	cfg.NumSSDs = 1
 	cfg.Kernel = spdkvhost.PolledKernel()
 	tb := bmstore.NewDirectTestbed(cfg)

@@ -14,7 +14,8 @@ import (
 // Fig1 reproduces the motivation figure: SPDK vhost bandwidth on four
 // SSDs as a function of dedicated polling cores, versus the native line.
 // Workload: seq read 128K, QD256, 4 jobs (Table IV seq-r-256) per device.
-func Fig1(sc Scale) *Table {
+func Fig1(h *Harness) *Table {
+	sc := h.Scale
 	nativeMBs := 4 * 3310.0
 	tab := &Table{
 		ID:     "fig1",
@@ -25,18 +26,22 @@ func Fig1(sc Scale) *Table {
 			"paper: at least 8 cores needed to reach ~80% of native",
 		},
 	}
-	for _, cores := range []int{1, 2, 4, 6, 8, 10} {
-		bw := fig1Point(sc, cores)
+	coreCounts := []int{1, 2, 4, 6, 8, 10}
+	bws := make([]float64, len(coreCounts))
+	h.each(len(coreCounts), func(i int) {
+		cores := coreCounts[i]
+		cfg := h.config(fmt.Sprintf("fig1/c%d", cores), int64(1000+cores))
+		bws[i] = fig1Point(cfg, sc, cores)
+	})
+	for i, cores := range coreCounts {
 		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprint(cores), f0(bw), f1(bw / nativeMBs * 100),
+			fmt.Sprint(cores), f0(bws[i]), f1(bws[i] / nativeMBs * 100),
 		})
 	}
 	return tab
 }
 
-func fig1Point(sc Scale, cores int) float64 {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = int64(1000 + cores)
+func fig1Point(cfg bmstore.Config, sc Scale, cores int) float64 {
 	cfg.NumSSDs = 4
 	cfg.Kernel = spdkvhost.PolledKernel()
 	tb := bmstore.NewDirectTestbed(cfg)
@@ -77,18 +82,31 @@ type CaseResult struct {
 
 // Fig8Table5 reproduces the bare-metal single-disk comparison: native disk
 // vs BM-Store across the six Table IV cases (Fig. 8 IOPS/BW, Table V
-// latency).
-func Fig8Table5(sc Scale) *Table {
+// latency). Each (case, scheme) rig is an independent cell — twelve jobs.
+func Fig8Table5(h *Harness) *Table {
+	sc := h.Scale
 	tab := &Table{
 		ID:     "fig8+table5",
 		Title:  "Bare-metal, 1 disk: native vs BM-Store (Table IV cases)",
 		Header: []string{"case", "native kIOPS", "bms kIOPS", "native MB/s", "bms MB/s", "native lat(us)", "bms lat(us)", "bms/native"},
 		Notes:  []string{"paper: 96.2-101.4% of native except rand-w-1 (82.5%); ~3us extra latency"},
 	}
-	for i, c := range tableIV() {
+	cases := tableIV()
+	results := make([]*fio.Result, 2*len(cases)) // [case*2 + scheme], scheme 0=native 1=bms
+	h.each(len(results), func(j int) {
+		i, scheme := j/2, j%2
+		spec := guestSpec(cases[i], sc)
+		if scheme == 0 {
+			cfg := h.config(fmt.Sprintf("fig8/%s/native", spec.Name), int64(100+i))
+			results[j] = nativeFio(cfg, spec)
+		} else {
+			cfg := h.config(fmt.Sprintf("fig8/%s/bms", spec.Name), int64(100+i))
+			results[j] = bmstoreFio(cfg, spec, 1536<<30, nil)
+		}
+	})
+	for i, c := range cases {
 		spec := guestSpec(c, sc)
-		nat := nativeFio(spec, int64(100+i))
-		bms := bmstoreFio(spec, int64(100+i), 1536<<30, nil)
+		nat, bms := results[2*i], results[2*i+1]
 		ratio := bms.IOPS() / nat.IOPS()
 		tab.Rows = append(tab.Rows, []string{
 			spec.Name,
@@ -103,7 +121,8 @@ func Fig8Table5(sc Scale) *Table {
 
 // Table6 reproduces the OS/kernel matrix: BM-Store under different host
 // kernels (4K randread, QD16, 8 jobs).
-func Table6(sc Scale) *Table {
+func Table6(h *Harness) *Table {
+	sc := h.Scale
 	tab := &Table{
 		ID:     "table6",
 		Title:  "BM-Store across host OS/kernel versions (4K randread QD16 x 8 jobs)",
@@ -119,13 +138,13 @@ func Table6(sc Scale) *Table {
 	}
 	spec := fio.Spec{Name: "t6", Pattern: fio.RandRead, BlockSize: 4096,
 		IODepth: 16, NumJobs: 8, Ramp: 5 * sim.Millisecond, Runtime: sc.FioRand}
-	for i, k := range kernels {
-		cfg := bmstore.DefaultConfig()
-		cfg.Seed = int64(600 + i)
+	results := make([]*fio.Result, len(kernels))
+	h.each(len(kernels), func(i int) {
+		k := kernels[i]
+		cfg := h.config(fmt.Sprintf("table6/%s-%s", k.OS, k.Version), int64(600+i))
 		cfg.NumSSDs = 1
 		cfg.Kernel = k
 		tb := bmstore.NewBMStoreTestbed(cfg)
-		var res *fio.Result
 		tb.Run(func(p *sim.Proc) {
 			tb.Console.CreateNamespace(p, "v", 1536<<30, []int{0})
 			tb.Console.Bind(p, "v", 0)
@@ -133,8 +152,11 @@ func Table6(sc Scale) *Table {
 			if err != nil {
 				panic(err)
 			}
-			res = fio.Run(p, fioDevs(drv, spec.NumJobs), spec)
+			results[i] = fio.Run(p, fioDevs(drv, spec.NumJobs), spec)
 		})
+	})
+	for i, k := range kernels {
+		res := results[i]
 		tab.Rows = append(tab.Rows, []string{
 			k.OS, k.Version, f0(res.IOPS() / 1000), f0(res.BandwidthMBs()), f1(res.AvgLatencyUS()),
 		})
@@ -143,20 +165,36 @@ func Table6(sc Scale) *Table {
 }
 
 // Fig9Table7 reproduces the single-VM comparison: VFIO vs BM-Store vs SPDK
-// vhost on one disk (Fig. 9 IOPS/BW, Table VII latency).
-func Fig9Table7(sc Scale) *Table {
+// vhost on one disk (Fig. 9 IOPS/BW, Table VII latency). Eighteen cells:
+// six cases by three schemes.
+func Fig9Table7(h *Harness) *Table {
+	sc := h.Scale
 	tab := &Table{
 		ID:     "fig9+table7",
 		Title:  "Single VM, 1 disk: VFIO vs BM-Store vs SPDK vhost",
 		Header: []string{"case", "vfio kIOPS", "bms kIOPS", "spdk kIOPS", "vfio lat(us)", "bms lat(us)", "spdk lat(us)", "bms/vfio", "spdk/vfio"},
 		Notes:  []string{"paper: BM-Store 95.6-102.7% of VFIO (rand-w-1 81.2%); SPDK 63-96%; seq-r-256 SPDK collapse to 63%"},
 	}
-	vm := host.KVMGuest()
-	for i, c := range tableIV() {
+	cases := tableIV()
+	const schemes = 3
+	results := make([]*fio.Result, schemes*len(cases))
+	h.each(len(results), func(j int) {
+		i, scheme := j/schemes, j%schemes
+		spec := guestSpec(cases[i], sc)
+		seed := int64(700 + i)
+		switch scheme {
+		case 0:
+			results[j] = vfioFio(h.config(fmt.Sprintf("fig9/%s/vfio", spec.Name), seed), spec)
+		case 1:
+			vm := host.KVMGuest()
+			results[j] = bmstoreFio(h.config(fmt.Sprintf("fig9/%s/bms", spec.Name), seed), spec, 1536<<30, &vm)
+		case 2:
+			results[j] = spdkFio(h.config(fmt.Sprintf("fig9/%s/spdk", spec.Name), seed), spec)
+		}
+	})
+	for i, c := range cases {
 		spec := guestSpec(c, sc)
-		vf := vfioFio(spec, int64(700+i))
-		bm := bmstoreFio(spec, int64(700+i), 1536<<30, &vm)
-		sp := spdkFio(spec, int64(700+i))
+		vf, bm, sp := results[schemes*i], results[schemes*i+1], results[schemes*i+2]
 		tab.Rows = append(tab.Rows, []string{
 			spec.Name,
 			f1(vf.IOPS() / 1000), f1(bm.IOPS() / 1000), f1(sp.IOPS() / 1000),
@@ -170,19 +208,21 @@ func Fig9Table7(sc Scale) *Table {
 
 // Fig10 reproduces bare-metal scaling: total seq-read bandwidth over 1-4
 // SSDs, one namespace+function per SSD.
-func Fig10(sc Scale) *Table {
+func Fig10(h *Harness) *Table {
+	sc := h.Scale
 	tab := &Table{
 		ID:     "fig10",
 		Title:  "BM-Store total bandwidth vs number of SSDs (seq-r-256, bare metal)",
 		Header: []string{"SSDs", "bandwidth(GB/s)", "per-SSD(GB/s)"},
 		Notes:  []string{"paper: linear scaling, 12.6 GB/s at 4 SSDs"},
 	}
-	for _, n := range []int{1, 2, 3, 4} {
-		cfg := bmstore.DefaultConfig()
-		cfg.Seed = int64(900 + n)
+	counts := []int{1, 2, 3, 4}
+	totals := make([]float64, len(counts))
+	h.each(len(counts), func(idx int) {
+		n := counts[idx]
+		cfg := h.config(fmt.Sprintf("fig10/%dssd", n), int64(900+n))
 		cfg.NumSSDs = n
 		tb := bmstore.NewBMStoreTestbed(cfg)
-		var total float64
 		tb.Run(func(p *sim.Proc) {
 			var devs []host.BlockDevice
 			for i := 0; i < n; i++ {
@@ -201,8 +241,11 @@ func Fig10(sc Scale) *Table {
 				Name: "fig10", Pattern: fio.SeqRead, BlockSize: 128 << 10,
 				IODepth: 256, NumJobs: 4 * n, Ramp: sc.FioRampSeq, Runtime: sc.FioSeq,
 			})
-			total = res.BandwidthMBs()
+			totals[idx] = res.BandwidthMBs()
 		})
+	})
+	for i, n := range counts {
+		total := totals[i]
 		tab.Rows = append(tab.Rows, []string{
 			fmt.Sprint(n), fmt.Sprintf("%.2f", total/1000), fmt.Sprintf("%.2f", total/1000/float64(n)),
 		})
@@ -211,30 +254,38 @@ func Fig10(sc Scale) *Table {
 }
 
 // Fig11 reproduces VM scaling + fairness: 1..26 VMs, each with a 256 GB
-// namespace placed round-robin over 4 SSDs, running seq reads.
-func Fig11(sc Scale) *Table {
+// namespace placed round-robin over 4 SSDs, running seq reads. Each VM
+// count is one cell; the VMs inside a cell share that cell's Env.
+func Fig11(h *Harness) *Table {
+	sc := h.Scale
 	tab := &Table{
 		ID:     "fig11",
 		Title:  "BM-Store total bandwidth and fairness vs number of VMs (4 SSDs)",
 		Header: []string{"VMs", "total(GB/s)", "min VM(MB/s)", "max VM(MB/s)", "max/min"},
 		Notes:  []string{"paper: linear scaling to 12.40 GB/s at 16 VMs; balanced allocation"},
 	}
-	for _, n := range []int{1, 2, 4, 8, 16, 26} {
-		total, minVM, maxVM := fig11Point(sc, n)
+	counts := []int{1, 2, 4, 8, 16, 26}
+	type point struct{ total, minVM, maxVM float64 }
+	pts := make([]point, len(counts))
+	h.each(len(counts), func(i int) {
+		n := counts[i]
+		cfg := h.config(fmt.Sprintf("fig11/%dvm", n), int64(1100+n))
+		pts[i].total, pts[i].minVM, pts[i].maxVM = fig11Point(cfg, sc, n)
+	})
+	for i := range counts {
 		ratio := 0.0
-		if minVM > 0 {
-			ratio = maxVM / minVM
+		if pts[i].minVM > 0 {
+			ratio = pts[i].maxVM / pts[i].minVM
 		}
 		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprint(n), fmt.Sprintf("%.2f", total/1000), f0(minVM), f0(maxVM), fmt.Sprintf("%.2f", ratio),
+			fmt.Sprint(counts[i]), fmt.Sprintf("%.2f", pts[i].total/1000),
+			f0(pts[i].minVM), f0(pts[i].maxVM), fmt.Sprintf("%.2f", ratio),
 		})
 	}
 	return tab
 }
 
-func fig11Point(sc Scale, nVMs int) (total, minVM, maxVM float64) {
-	cfg := bmstore.DefaultConfig()
-	cfg.Seed = int64(1100 + nVMs)
+func fig11Point(cfg bmstore.Config, sc Scale, nVMs int) (total, minVM, maxVM float64) {
 	cfg.NumSSDs = 4
 	tb := bmstore.NewBMStoreTestbed(cfg)
 	vm := host.KVMGuest()
@@ -292,7 +343,8 @@ func fig11Point(sc Scale, nVMs int) (total, minVM, maxVM float64) {
 
 // Fig12 reproduces the tail-latency fairness figure: four VMs running the
 // same case concurrently; their latency percentiles should coincide.
-func Fig12(sc Scale) *Table {
+func Fig12(h *Harness) *Table {
+	sc := h.Scale
 	tab := &Table{
 		ID:     "fig12",
 		Title:  "Tail latency across 4 concurrent VMs (fairness)",
@@ -303,11 +355,12 @@ func Fig12(sc Scale) *Table {
 		{Name: "rand-r-128", Pattern: fio.RandRead, BlockSize: 4096, IODepth: 128, NumJobs: 1},
 		{Name: "rand-w-16", Pattern: fio.RandWrite, BlockSize: 4096, IODepth: 16, NumJobs: 1},
 	}
-	for ci, c := range cases {
+	perCase := make([][]*fio.Result, len(cases))
+	h.each(len(cases), func(ci int) {
+		c := cases[ci]
 		c.Runtime = sc.FioRand * 2
 		c.Ramp = 5 * sim.Millisecond
-		cfg := bmstore.DefaultConfig()
-		cfg.Seed = int64(1200 + ci)
+		cfg := h.config(fmt.Sprintf("fig12/%s", c.Name), int64(1200+ci))
 		cfg.NumSSDs = 4
 		tb := bmstore.NewBMStoreTestbed(cfg)
 		vm := host.KVMGuest()
@@ -336,16 +389,19 @@ func Fig12(sc Scale) *Table {
 				p.Wait(ev)
 			}
 		})
-		for i, r := range results {
-			h := &r.Read.Lat
+		perCase[ci] = results
+	})
+	for ci, c := range cases {
+		for i, r := range perCase[ci] {
+			hst := &r.Read.Lat
 			if c.Pattern == fio.RandWrite {
-				h = &r.Write.Lat
+				hst = &r.Write.Lat
 			}
 			tab.Rows = append(tab.Rows, []string{
 				c.Name, fmt.Sprintf("VM%d", i),
-				f1(float64(h.Percentile(0.50)) / 1e3),
-				f1(float64(h.Percentile(0.99)) / 1e3),
-				f1(float64(h.Percentile(0.999)) / 1e3),
+				f1(float64(hst.Percentile(0.50)) / 1e3),
+				f1(float64(hst.Percentile(0.99)) / 1e3),
+				f1(float64(hst.Percentile(0.999)) / 1e3),
 			})
 		}
 	}

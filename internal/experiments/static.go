@@ -65,19 +65,20 @@ func TCO() *Table {
 	}
 }
 
-// Experiment couples an ID with its runner.
+// Experiment couples an ID with its runner. Run receives the harness that
+// supplies the scale, the worker pool cells fan out on, and per-rig tracers.
 type Experiment struct {
 	ID   string
 	Name string
-	Run  func(sc Scale) *Table
+	Run  func(h *Harness) *Table
 }
 
 // All returns every experiment in evaluation order.
 func All() []Experiment {
 	return []Experiment{
 		{"fig1", "SPDK vhost core scaling (motivation)", Fig1},
-		{"table1", "feature matrix", func(Scale) *Table { return Table1() }},
-		{"table2", "FPGA resources", func(Scale) *Table { return Table2() }},
+		{"table1", "feature matrix", func(*Harness) *Table { return Table1() }},
+		{"table2", "FPGA resources", func(*Harness) *Table { return Table2() }},
 		{"fig8", "bare-metal single disk + latency (Table V)", Fig8Table5},
 		{"table6", "OS/kernel matrix", Table6},
 		{"fig9", "single VM, three schemes + latency (Table VII)", Fig9Table7},
@@ -88,7 +89,7 @@ func All() []Experiment {
 		{"fig13b", "MySQL Sysbench + latency (Table VIII)", Fig13bTable8},
 		{"fig14", "mixed workloads in VMs", Fig14},
 		{"table9", "hot-upgrade availability + timeline (Fig 15)", Table9Fig15},
-		{"tco", "TCO analysis", func(Scale) *Table { return TCO() }},
+		{"tco", "TCO analysis", func(*Harness) *Table { return TCO() }},
 		{"abl-zerocopy", "ablation: zero-copy DMA routing", AblationZeroCopy},
 		{"abl-qos", "ablation: QoS isolation", AblationQoS},
 	}

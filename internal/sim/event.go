@@ -10,6 +10,7 @@ type Event struct {
 	pending   bool // scheduled on the queue but not yet fired
 	processed bool // has fired
 	aborted   bool
+	pooled    bool // kernel-internal event, recycled after firing
 	waiters   []*Proc
 	callbacks []func(val any)
 }

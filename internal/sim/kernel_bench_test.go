@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// BenchmarkSchedulerThroughput measures the raw per-event cost of the
+// scheduler's hot loop: Schedule -> queue -> fire, with no processes
+// involved. 64 concurrent callback chains keep the event queue deep enough
+// that heap reorganisation cost shows up, the way it does under a real
+// multi-device simulation. One benchmark op is one fired event.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	const chains = 64
+	env := NewEnv(1)
+	fired := 0
+	scheduled := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if scheduled < b.N {
+			scheduled++
+			env.Schedule(100*Nanosecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < chains && scheduled < b.N; i++ {
+		scheduled++
+		env.Schedule(Time(i), tick)
+	}
+	env.Run()
+	b.StopTimer()
+	if fired != scheduled {
+		b.Fatalf("fired %d of %d scheduled events", fired, scheduled)
+	}
+}
+
+// BenchmarkProcessSleepThroughput measures the per-event cost when every
+// event resumes a blocked process: the goroutine-handoff path plus the
+// timeout-event machinery behind Proc.Sleep. One op is one completed sleep.
+func BenchmarkProcessSleepThroughput(b *testing.B) {
+	const procs = 16
+	env := NewEnv(1)
+	per := b.N / procs
+	extra := b.N % procs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < procs; i++ {
+		n := per
+		if i < extra {
+			n++
+		}
+		env.Go("sleeper", func(p *Proc) {
+			for j := 0; j < n; j++ {
+				p.Sleep(100 * Nanosecond)
+			}
+		})
+	}
+	env.Run()
+}

@@ -44,7 +44,10 @@ func (p *Proc) Wait(ev *Event) any {
 	return p.yield().val
 }
 
-// Sleep advances the process's local time by d.
+// Sleep advances the process's local time by d. The timer event comes from
+// the environment's free list — it never escapes this function, so it is
+// recycled as soon as it fires, keeping Sleep allocation-free at steady
+// state.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic("sim: negative sleep")
@@ -52,7 +55,12 @@ func (p *Proc) Sleep(d Time) {
 	if d == 0 {
 		return
 	}
-	p.Wait(p.env.Timeout(d, nil))
+	e := p.env
+	ev := e.pooledEvent()
+	ev.pending = true
+	ev.waiters = append(ev.waiters, p)
+	e.push(e.now+d, ev)
+	p.yield()
 }
 
 // WaitAny blocks until the first of evs fires and returns that event. Events

@@ -9,10 +9,15 @@
 // Control is handed off explicitly through channels, so simulation state
 // never needs locking and event ordering is fully deterministic: events fire
 // in (time, sequence) order.
+//
+// An Env is strictly single-threaded; parallelism in this codebase lives
+// *between* environments, never inside one. Independent rigs each own an Env
+// and may run on separate OS threads concurrently (see
+// internal/experiments's worker pool), which is why the kernel holds no
+// package-level mutable state.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -45,26 +50,20 @@ type Env struct {
 	seed    int64
 	procSeq uint64
 	tracer  *trace.Tracer
+
+	// evFree recycles kernel-internal one-shot events (Sleep timers,
+	// process-start events). Only events the kernel itself created and that
+	// never escape to user code are pooled; see pooledEvent.
+	evFree []*Event
 }
-
-// defaultTracer, when set, is attached to every environment NewEnv builds.
-// It exists for tools (cmd/bmstore-bench) whose testbeds are constructed
-// deep inside library code with no configuration path for a tracer.
-var defaultTracer *trace.Tracer
-
-// SetDefaultTracer installs tr on every subsequently created environment.
-// Pass nil to stop. Individual environments can still override with
-// SetTracer.
-func SetDefaultTracer(tr *trace.Tracer) { defaultTracer = tr }
 
 // NewEnv returns a fresh environment at time 0 with the given base RNG seed.
 // The seed feeds the per-name deterministic streams returned by Rand.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		yield:  make(chan struct{}),
-		live:   make(map[*Proc]struct{}),
-		seed:   seed,
-		tracer: defaultTracer,
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+		seed:  seed,
 	}
 }
 
@@ -81,59 +80,116 @@ func (e *Env) SetTracer(tr *trace.Tracer) { e.tracer = tr }
 // Tracer returns the attached tracer, or nil when tracing is off.
 func (e *Env) Tracer() *trace.Tracer { return e.tracer }
 
-// scheduled is an entry in the event queue.
+// scheduled is an entry in the event queue. Exactly one of fn and ev is set:
+// fn is the Schedule fast path (a bare callback with no Event allocated),
+// ev everything else.
 type scheduled struct {
 	at  Time
 	seq uint64
+	fn  func()
 	ev  *Event
 }
 
-type eventQueue []scheduled
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// eventQueue is a 4-ary min-heap of scheduled entries ordered by (at, seq).
+// It is hand-rolled on the concrete type rather than container/heap: the
+// interface-based heap boxes every pushed entry into an `any` (one heap
+// allocation per event) and pays dynamic dispatch per comparison, which
+// together dominated the scheduler's hot loop. The wider fan-out also
+// shallows the tree: a 4-ary heap does ~half the levels of a binary heap on
+// sift-down, trading slightly more comparisons per level for far fewer
+// swaps — a win for the short-lived entries a simulation queue churns.
+type eventQueue struct {
+	s []scheduled
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(scheduled)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+// before reports whether a fires before b: (time, sequence) order. seq is
+// unique per push, so this is a total order and pop order is deterministic.
+func (q *eventQueue) before(a, b *scheduled) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) push(it scheduled) {
+	q.s = append(q.s, it)
+	i := len(q.s) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !q.before(&q.s[i], &q.s[parent]) {
+			break
+		}
+		q.s[i], q.s[parent] = q.s[parent], q.s[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() scheduled {
+	s := q.s
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = scheduled{} // release fn/ev references
+	q.s = s[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	s := q.s
+	n := len(s)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.before(&s[c], &s[min]) {
+				min = c
+			}
+		}
+		if !q.before(&s[min], &s[i]) {
+			return
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
 }
 
 func (e *Env) push(at Time, ev *Event) {
 	e.seq++
-	heap.Push(&e.queue, scheduled{at: at, seq: e.seq, ev: ev})
+	e.queue.push(scheduled{at: at, seq: e.seq, ev: ev})
 }
 
 // Schedule runs fn in scheduler context after delay. It is the lightweight,
 // callback-style alternative to starting a process; device models use it for
-// internal pipeline stages.
+// internal pipeline stages. The callback travels in the queue entry itself —
+// no Event is allocated, which makes Schedule the cheapest way to sequence
+// virtual-time work.
 func (e *Env) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		panic("sim: negative delay")
 	}
-	ev := e.NewEvent()
-	ev.AddCallback(func(any) { fn() })
-	e.push(e.now+delay, ev)
-	ev.pending = true
+	e.seq++
+	e.queue.push(scheduled{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // Run processes events until the queue is empty, then returns the final
 // virtual time. Processes still blocked on untriggered events remain blocked;
 // call Shutdown to unwind them.
-func (e *Env) Run() Time { return e.run(-1) }
+func (e *Env) Run() Time { return e.run(-1, nil) }
 
 // RunUntil processes events up to and including virtual time t and then
 // returns. The clock is left at t even if the queue drained earlier.
 func (e *Env) RunUntil(t Time) Time {
-	e.run(t)
+	e.run(t, nil)
 	if e.now < t {
 		e.now = t
 	}
@@ -144,27 +200,20 @@ func (e *Env) RunUntil(t Time) Time {
 // dry). Use it to drive a simulation that hosts immortal server processes
 // (pollers, monitors) whose periodic timers would keep Run spinning
 // forever.
-func (e *Env) RunUntilEvent(ev *Event) Time {
-	for !ev.processed && len(e.queue) > 0 {
-		it := heap.Pop(&e.queue).(scheduled)
-		if it.at < e.now {
-			panic("sim: event queue went backwards")
-		}
-		e.now = it.at
-		if e.tracer != nil {
-			e.tracer.Emit(e.now, "sim", "fire", it.seq, 0, "")
-		}
-		e.fire(it.ev)
-	}
-	return e.now
-}
+func (e *Env) RunUntilEvent(ev *Event) Time { return e.run(-1, ev) }
 
-func (e *Env) run(limit Time) Time {
-	for len(e.queue) > 0 {
-		if limit >= 0 && e.queue[0].at > limit {
+// run is the scheduler hot loop shared by Run, RunUntil and RunUntilEvent:
+// pop in (time, seq) order until the queue drains, the next entry lies
+// beyond limit (when limit >= 0), or until has fired (when non-nil).
+func (e *Env) run(limit Time, until *Event) Time {
+	for len(e.queue.s) > 0 {
+		if until != nil && until.processed {
 			break
 		}
-		it := heap.Pop(&e.queue).(scheduled)
+		if limit >= 0 && e.queue.s[0].at > limit {
+			break
+		}
+		it := e.queue.pop()
 		if it.at < e.now {
 			panic("sim: event queue went backwards")
 		}
@@ -172,7 +221,11 @@ func (e *Env) run(limit Time) Time {
 		if e.tracer != nil {
 			e.tracer.Emit(e.now, "sim", "fire", it.seq, 0, "")
 		}
-		e.fire(it.ev)
+		if it.fn != nil {
+			it.fn()
+		} else {
+			e.fire(it.ev)
+		}
 	}
 	return e.now
 }
@@ -197,6 +250,35 @@ func (e *Env) fire(ev *Event) {
 		}
 		e.resume(p, resumeMsg{val: ev.val, ev: ev})
 	}
+	if ev.pooled {
+		ev.waiters = ws[:0] // keep the capacity across recycles
+		e.recycle(ev)
+	}
+}
+
+// pooledEvent returns a recycled kernel-internal event, or a fresh one. The
+// caller must guarantee the event never escapes to user code: it is handed
+// back to the free list at the end of fire, after its waiters have resumed
+// and moved on.
+func (e *Env) pooledEvent() *Event {
+	if n := len(e.evFree); n > 0 {
+		ev := e.evFree[n-1]
+		e.evFree = e.evFree[:n-1]
+		return ev
+	}
+	return &Event{env: e, pooled: true}
+}
+
+// recycle resets a pooled event (keeping its waiter-slice capacity) and
+// returns it to the free list.
+func (e *Env) recycle(ev *Event) {
+	ev.val = nil
+	ev.pending = false
+	ev.processed = false
+	ev.aborted = false
+	ev.callbacks = nil
+	ev.waiters = ev.waiters[:0]
+	e.evFree = append(e.evFree, ev)
 }
 
 type resumeMsg struct {
@@ -284,8 +366,8 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 			fn(p)
 		}
 	}()
-	// Activate via a zero-delay event so start order is deterministic.
-	start := e.NewEvent()
+	// Activate via a zero-delay pooled event so start order is deterministic.
+	start := e.pooledEvent()
 	start.waiters = append(start.waiters, p)
 	e.push(e.now, start)
 	start.pending = true

@@ -7,14 +7,17 @@
 package trace_test
 
 import (
+	"bytes"
 	"testing"
 
 	"bmstore"
+	"bmstore/internal/experiments"
 	"bmstore/internal/fio"
 	"bmstore/internal/host"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/ssd"
+	"bmstore/internal/trace"
 )
 
 // smallCfg mirrors the root package's test rig: tiny disks and chunks so
@@ -239,5 +242,92 @@ func TestDeterminismSeedDivergence(t *testing.T) {
 	}
 	if direct(1) == direct(2) {
 		t.Fatal("direct rig digests did not diverge across seeds")
+	}
+}
+
+// tinyScale keeps the serial-vs-parallel sweep below a second of wall time:
+// the point is equivalence, not statistics.
+func tinyScale() experiments.Scale {
+	return experiments.Scale{
+		Name:        "tiny",
+		FioRand:     2 * sim.Millisecond,
+		FioSeq:      10 * sim.Millisecond,
+		FioRampSeq:  2 * sim.Millisecond,
+		AppLoadCut:  8,
+		AppDuration: 20 * sim.Millisecond,
+		VMScaleQD:   8,
+		VMScaleJobs: 1,
+		FWCommitMin: 100 * sim.Millisecond,
+		FWCommitMax: 150 * sim.Millisecond,
+	}
+}
+
+// sweep runs a representative subset of the evaluation at the given
+// parallelism and returns the rendered tables plus the per-rig and combined
+// trace digests.
+func sweep(parallel int) (string, [][2]string, string) {
+	set := trace.NewSet(trace.Options{})
+	h := experiments.NewHarness(tinyScale(), parallel, set)
+	// fig13a rides along to pin the app stack (minidb checkpoints once
+	// issued page I/O in map-iteration order — caught exactly here).
+	pick := map[string]bool{"fig1": true, "fig12": true, "fig13a": true, "abl-zerocopy": true, "abl-qos": true}
+	var buf bytes.Buffer
+	for _, e := range experiments.All() {
+		if pick[e.ID] {
+			e.Run(h).Render(&buf)
+		}
+	}
+	return buf.String(), set.PerRig(), set.Digest()
+}
+
+// TestSerialParallelEquivalence is the tentpole's contract: fanning rigs out
+// on a worker pool must not change a single byte of output. Tables must be
+// byte-identical, every per-rig digest must match, and the combined digest
+// (folded in sorted-name order, independent of completion order) must match.
+func TestSerialParallelEquivalence(t *testing.T) {
+	serialTabs, serialRigs, serialDigest := sweep(1)
+	parTabs, parRigs, parDigest := sweep(4)
+
+	if serialTabs != parTabs {
+		t.Errorf("rendered tables differ between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s", serialTabs, parTabs)
+	}
+	if len(serialRigs) == 0 {
+		t.Fatal("sweep produced no traced rigs")
+	}
+	if len(serialRigs) != len(parRigs) {
+		t.Fatalf("rig count differs: serial %d, parallel %d", len(serialRigs), len(parRigs))
+	}
+	for i := range serialRigs {
+		if serialRigs[i] != parRigs[i] {
+			t.Errorf("rig %q digest diverged: serial %s, parallel %s",
+				serialRigs[i][0], serialRigs[i][1], parRigs[i][1])
+		}
+	}
+	if serialDigest != parDigest {
+		t.Errorf("combined digest diverged: serial %s, parallel %s", serialDigest, parDigest)
+	}
+	t.Logf("%d rigs, combined digest %s", len(serialRigs), serialDigest)
+}
+
+// TestSetDigestOrderIndependence: a Set's combined digest is a function of
+// (name, per-rig digest) pairs only — the order rigs were created or
+// executed in must not matter. This is what makes the parallel digest
+// meaningful.
+func TestSetDigestOrderIndependence(t *testing.T) {
+	run := func(names []string) string {
+		set := trace.NewSet(trace.Options{})
+		for _, n := range names {
+			tr := set.Tracer(n)
+			// Each rig's content depends only on its name, not creation order.
+			for i := 0; i < len(n); i++ {
+				tr.Emit(sim.Time(i), n, "op", uint64(i), 0, "")
+			}
+		}
+		return set.Digest()
+	}
+	a := run([]string{"rig/a", "rig/b", "rig/c"})
+	b := run([]string{"rig/c", "rig/a", "rig/b"})
+	if a != b {
+		t.Fatalf("set digest depends on rig creation order: %s vs %s", a, b)
 	}
 }

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Set is a family of per-rig tracers for runs that build many independent
+// simulation environments — possibly concurrently. A single Tracer cannot
+// observe parallel environments (it is deliberately lock-free, and
+// interleaving two envs' streams would make the digest depend on goroutine
+// timing), so each rig gets its own child tracer keyed by a caller-chosen
+// name, and the Set folds the children's digests together in sorted-name
+// order. The combined digest is therefore a pure function of the per-rig
+// behaviour, identical no matter how many workers executed the rigs or in
+// what order they finished.
+//
+// Tracer(name) is safe to call from multiple goroutines; each child Tracer
+// remains single-threaded property of its environment, exactly like a
+// standalone Tracer.
+type Set struct {
+	mu       sync.Mutex
+	opts     Options
+	children map[string]*setChild
+}
+
+type setChild struct {
+	tr  *Tracer
+	buf *bytes.Buffer // per-rig dump, replayed in name order by Flush
+}
+
+// NewSet returns a tracer family with the given per-child options. When
+// opts.Dump is set it is remembered as the final destination: children dump
+// into private buffers and Flush writes them out grouped by rig name, so a
+// parallel run's dump is byte-identical to a serial run's.
+func NewSet(opts Options) *Set {
+	return &Set{opts: opts, children: make(map[string]*setChild)}
+}
+
+// Tracer returns the child tracer for the named rig, creating it on first
+// use. Names must be unique per rig (reusing a name returns the same child,
+// which only makes sense for rigs that run strictly one after another).
+func (s *Set) Tracer(name string) *Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.children[name]; ok {
+		return c.tr
+	}
+	c := &setChild{}
+	opts := s.opts
+	if opts.Dump != nil {
+		c.buf = &bytes.Buffer{}
+		opts.Dump = c.buf
+	}
+	c.tr = New(opts)
+	s.children[name] = c
+	return c.tr
+}
+
+// Rigs returns how many child tracers exist.
+func (s *Set) Rigs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.children)
+}
+
+// Events returns the total events folded across all children.
+func (s *Set) Events() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, c := range s.children {
+		n += c.tr.Events()
+	}
+	return n
+}
+
+// Digest folds each child's (name, digest, events) into a combined digest in
+// sorted-name order. Two sweeps are equivalent iff every rig behaved
+// identically, regardless of execution interleaving.
+func (s *Set) Digest() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := uint64(fnvOffset64)
+	for _, name := range s.sortedNames() {
+		c := s.children[name]
+		h = mixString(h, name)
+		h = mixString(h, c.tr.Digest())
+		h = mixU64(h, c.tr.Events())
+	}
+	return fmt.Sprintf("fnv64w-set:%016x", h)
+}
+
+// PerRig returns (name, digest) pairs in sorted-name order — the granular
+// form of Digest, for diffing which rig diverged.
+func (s *Set) PerRig() [][2]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][2]string, 0, len(s.children))
+	for _, name := range s.sortedNames() {
+		out = append(out, [2]string{name, s.children[name].tr.Digest()})
+	}
+	return out
+}
+
+// Flush writes the buffered per-rig dumps to w, grouped under one header
+// per rig in sorted-name order. It is a no-op when dumping was not enabled.
+func (s *Set) Flush(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.sortedNames() {
+		c := s.children[name]
+		if c.buf == nil {
+			continue
+		}
+		if err := c.tr.Flush(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "=== rig %s (%d events, %s)\n", name, c.tr.Events(), c.tr.Digest()); err != nil {
+			return err
+		}
+		if _, err := w.Write(c.buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedNames returns child names sorted; callers hold s.mu.
+func (s *Set) sortedNames() []string {
+	names := make([]string, 0, len(s.children))
+	for name := range s.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Alloc-regression gate for the simulation kernel's hot path.
+#
+# Runs the scheduler throughput benchmarks with -benchmem and compares each
+# benchmark's allocs/op against the committed baseline in
+# scripts/bench_allocs_baseline.txt. The kernel free-lists events and the
+# Schedule fast path allocates nothing, so the baseline is 0 allocs/op; any
+# change that reintroduces a per-event allocation fails this gate.
+#
+# -benchtime=100x keeps the gate cheap: Go counts allocations exactly (no
+# sampling), so a short run is deterministic. The only 100x artifact is
+# one-time warm-up cost showing through the per-op average; the committed
+# baselines account for it.
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline=scripts/bench_allocs_baseline.txt
+out=$(go test -run '^$' -bench 'Throughput$' -benchtime=100x -benchmem ./internal/sim/)
+echo "$out"
+
+status=0
+while read -r name allowed; do
+    case "$name" in ''|\#*) continue ;; esac
+    got=$(printf '%s\n' "$out" | awk -v n="$name" 'index($1, n) == 1 {print $(NF-1)}')
+    if [ -z "$got" ]; then
+        echo "bench-gate: benchmark $name did not run" >&2
+        status=1
+        continue
+    fi
+    if [ "$got" -gt "$allowed" ]; then
+        echo "bench-gate: FAIL $name allocs/op = $got, baseline $allowed" >&2
+        status=1
+    else
+        echo "bench-gate: ok   $name allocs/op = $got (baseline $allowed)"
+    fi
+done < "$baseline"
+exit $status
