@@ -23,6 +23,7 @@ import (
 	"bmstore/internal/controller"
 	"bmstore/internal/engine"
 	"bmstore/internal/host"
+	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/ssd"
@@ -61,6 +62,15 @@ type Config struct {
 	// subsystem stream their events into it, yielding a run digest (and
 	// optionally a human-readable dump). Leave nil for zero-cost runs.
 	Tracer *trace.Tracer
+
+	// Metrics, when non-nil, is attached to the simulation environment
+	// before any component is built: every instrumented subsystem registers
+	// its counters, gauges, latency histograms and request spans there, and
+	// the registry can be exported after the run (see internal/obs). Like
+	// the tracer, metrics are per rig — no process-wide globals — and nil
+	// means zero overhead. Metrics are passive observers: attaching a
+	// registry never changes simulated behaviour or trace digests.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig mirrors the paper's testbed (Table III): CentOS 7 with the
@@ -119,6 +129,9 @@ func NewBMStoreTestbed(cfg Config) *Testbed {
 	if cfg.Tracer != nil {
 		env.SetTracer(cfg.Tracer)
 	}
+	if cfg.Metrics != nil {
+		env.SetMetrics(cfg.Metrics)
+	}
 	h := host.New(env, cfg.MemSize, cfg.Kernel)
 	eng := engine.New(env, cfg.Engine)
 
@@ -161,6 +174,9 @@ func NewDirectTestbed(cfg Config) *Testbed {
 	env := sim.NewEnv(cfg.Seed)
 	if cfg.Tracer != nil {
 		env.SetTracer(cfg.Tracer)
+	}
+	if cfg.Metrics != nil {
+		env.SetMetrics(cfg.Metrics)
 	}
 	h := host.New(env, cfg.MemSize, cfg.Kernel)
 	tb := &Testbed{Env: env, Host: h, cfg: cfg}

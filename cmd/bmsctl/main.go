@@ -13,16 +13,27 @@
 //	        health 0; upgrade 0 VDV10200; inventory"
 //
 // With no script, a demonstration sequence runs.
+//
+// The offline subcommand
+//
+//	bmsctl stats <snapshot.json> [topN]
+//
+// needs no testbed: it pretty-prints a metrics snapshot produced by
+// fiosim/bmstore-bench -metrics-out — the hottest latency stages across all
+// rigs and the queue-depth peaks.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"bmstore"
+	"bmstore/internal/obs"
 	"bmstore/internal/sim"
 )
 
@@ -31,6 +42,13 @@ const demoScript = `version; subsys; ds 0; inventory; create vol0 256; bind vol0
 func main() {
 	ssds := flag.Int("ssds", 2, "number of backend SSDs in the testbed")
 	flag.Parse()
+	if args := flag.Args(); len(args) > 0 && args[0] == "stats" {
+		if err := runStats(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	script := strings.Join(flag.Args(), " ")
 	if strings.TrimSpace(script) == "" {
 		script = demoScript
@@ -183,6 +201,112 @@ func run(tb *bmstore.Testbed, p *sim.Proc, f []string) error {
 		}
 	default:
 		return fmt.Errorf("unknown command %q", f[0])
+	}
+	return nil
+}
+
+// runStats implements `bmsctl stats <snapshot.json> [topN]`: an offline
+// pretty-printer for -metrics-out snapshots.
+func runStats(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: bmsctl stats <snapshot.json> [topN]")
+	}
+	topN := 10
+	if len(args) == 2 {
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad topN %q", args[1])
+		}
+		topN = n
+	}
+	raw, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var multi obs.MultiSnapshot
+	if err := json.Unmarshal(raw, &multi); err != nil {
+		return fmt.Errorf("%s: %v", args[0], err)
+	}
+	if len(multi.Rigs) == 0 {
+		// A single-registry snapshot is also accepted.
+		var single obs.Snapshot
+		if err := json.Unmarshal(raw, &single); err == nil &&
+			(len(single.Components) > 0 || single.Spans != nil) {
+			multi.Rigs = append(multi.Rigs, single)
+		}
+	}
+	if len(multi.Rigs) == 0 {
+		return fmt.Errorf("%s: no metrics in snapshot", args[0])
+	}
+
+	type stageRow struct {
+		rig, op, stage string
+		h              obs.HistSnap
+	}
+	type gaugeRow struct {
+		rig, comp, name string
+		peak            int64
+	}
+	var stages []stageRow
+	var gauges []gaugeRow
+	var reads, writes, dropped, collisions uint64
+	for _, rig := range multi.Rigs {
+		name := rig.Name
+		if name == "" {
+			name = "-"
+		}
+		if sp := rig.Spans; sp != nil {
+			reads += sp.Read.N
+			writes += sp.Write.N
+			dropped += sp.Dropped
+			collisions += sp.Collisions
+			for _, dir := range []struct {
+				op string
+				os obs.OpSpanSnap
+			}{{"read", sp.Read}, {"write", sp.Write}} {
+				for _, st := range dir.os.Stages {
+					stages = append(stages, stageRow{rig: name, op: dir.op, stage: st.Name, h: st})
+				}
+			}
+		}
+		for _, c := range rig.Components {
+			for _, g := range c.Gauges {
+				if g.Peak > 0 {
+					gauges = append(gauges, gaugeRow{rig: name, comp: c.Name, name: g.Name, peak: g.Peak})
+				}
+			}
+		}
+	}
+	fmt.Printf("snapshot %s: %d rig(s), %d read spans, %d write spans",
+		args[0], len(multi.Rigs), reads, writes)
+	if dropped+collisions > 0 {
+		fmt.Printf(" (%d dropped, %d collisions)", dropped, collisions)
+	}
+	fmt.Println()
+
+	sort.SliceStable(stages, func(i, j int) bool { return stages[i].h.MeanNS > stages[j].h.MeanNS })
+	if len(stages) > 0 {
+		fmt.Printf("\ntop latency stages (by mean):\n")
+		fmt.Printf("  %-12s %-6s %-10s %9s %10s %10s\n", "rig", "op", "stage", "count", "mean(us)", "p99(us)")
+		for i, r := range stages {
+			if i >= topN {
+				break
+			}
+			fmt.Printf("  %-12s %-6s %-10s %9d %10.2f %10.2f\n",
+				r.rig, r.op, r.stage, r.h.N, r.h.MeanNS/1e3, float64(r.h.P99NS)/1e3)
+		}
+	}
+
+	sort.SliceStable(gauges, func(i, j int) bool { return gauges[i].peak > gauges[j].peak })
+	if len(gauges) > 0 {
+		fmt.Printf("\nqueue-depth peaks:\n")
+		fmt.Printf("  %-12s %-20s %-14s %6s\n", "rig", "component", "gauge", "peak")
+		for i, g := range gauges {
+			if i >= topN {
+				break
+			}
+			fmt.Printf("  %-12s %-20s %-14s %6d\n", g.rig, g.comp, g.name, g.peak)
+		}
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"bmstore/internal/experiments"
+	"bmstore/internal/obs"
 	"bmstore/internal/trace"
 )
 
@@ -32,6 +34,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	traceOut := flag.String("trace", "", "write a human-readable event trace to this file (- for stderr)")
 	traceDigest := flag.Bool("trace-digest", false, "compute and print a determinism digest over all runs")
+	metricsOn := flag.Bool("metrics", false, "collect metrics and print the per-component summary")
+	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, otherwise JSON; - for stdout)")
+	breakdown := flag.Bool("breakdown", false, "print the per-stage request latency breakdown table")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -103,7 +108,15 @@ func main() {
 		traces = trace.NewSet(opts)
 	}
 
-	h := experiments.NewHarness(sc, *parallel, traces)
+	// Metrics mirror the tracer structure: a Set hands every rig a private
+	// child registry and exports in sorted-name order, so -parallel never
+	// changes the snapshot bytes.
+	var mset *obs.Set
+	if *metricsOn || *metricsOut != "" || *breakdown {
+		mset = obs.NewSet(obs.Options{SeriesInterval: obs.DefaultSeriesInterval})
+	}
+
+	h := experiments.NewHarness(sc, *parallel, traces).WithMetrics(mset)
 
 	fmt.Printf("BM-Store evaluation reproduction (scale=%s)\n\n", sc.Name)
 	sweepStart := time.Now()
@@ -126,6 +139,24 @@ func main() {
 		}
 		fmt.Printf("trace: %d rigs, %d events, digest %s\n", traces.Rigs(), traces.Events(), traces.Digest())
 	}
+	if *breakdown {
+		if err := mset.WriteBreakdown(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOn {
+		if err := mset.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(mset, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -139,4 +170,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeMetrics exports the metrics set to path: CSV when the name ends in
+// .csv, pretty-printed JSON otherwise, stdout for "-".
+func writeMetrics(mset *obs.Set, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".csv") {
+		return mset.WriteCSV(w)
+	}
+	return mset.WriteJSON(w)
 }

@@ -20,14 +20,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"bmstore"
 	"bmstore/internal/experiments"
 	"bmstore/internal/fio"
 	"bmstore/internal/host"
+	"bmstore/internal/obs"
 	"bmstore/internal/sim"
 	"bmstore/internal/spdkvhost"
 	"bmstore/internal/trace"
@@ -48,6 +51,9 @@ func main() {
 	traceOut := flag.String("trace", "", "write a human-readable event trace to this file (- for stdout)")
 	traceDigest := flag.Bool("trace-digest", false, "compute and print each run's determinism digest")
 	traceSHA := flag.Bool("trace-sha256", false, "use SHA-256 for the digest instead of the fast 64-bit digest")
+	metricsOn := flag.Bool("metrics", false, "collect metrics and print the per-component summary")
+	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, otherwise JSON; - for stdout)")
+	breakdown := flag.Bool("breakdown", false, "print the per-stage request latency breakdown table")
 	flag.Parse()
 
 	var pat fio.Pattern
@@ -100,6 +106,11 @@ func main() {
 		traces = trace.NewSet(opts)
 	}
 
+	var mset *obs.Set
+	if *metricsOn || *metricsOut != "" || *breakdown {
+		mset = obs.NewSet(obs.Options{SeriesInterval: obs.DefaultSeriesInterval})
+	}
+
 	results := make([]*fio.Result, *runs)
 	tracers := make([]*trace.Tracer, *runs)
 	start := time.Now()
@@ -111,6 +122,7 @@ func main() {
 			tracers[i] = traces.Tracer(fmt.Sprintf("run%04d", i))
 			cfg.Tracer = tracers[i]
 		}
+		cfg.Metrics = mset.Registry(fmt.Sprintf("run%04d", i))
 		results[i] = runOne(cfg, *scheme, *ssds, spec)
 	})
 	wall := time.Since(start).Seconds()
@@ -159,6 +171,44 @@ func main() {
 				traces.Events(), traces.Rigs(), traces.Digest())
 		}
 	}
+	if *breakdown {
+		fmt.Println()
+		if err := mset.WriteBreakdown(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOn {
+		fmt.Println()
+		if err := mset.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(mset, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics exports the metrics set to path: CSV when the name ends in
+// .csv, pretty-printed JSON otherwise, stdout for "-".
+func writeMetrics(mset *obs.Set, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".csv") {
+		return mset.WriteCSV(w)
+	}
+	return mset.WriteJSON(w)
 }
 
 // runOne builds the scheme's rig on a private environment and runs spec.

@@ -14,6 +14,7 @@ import (
 	"bmstore/internal/engine"
 	"bmstore/internal/mctp"
 	"bmstore/internal/nvme"
+	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/ssd"
@@ -57,6 +58,9 @@ type Controller struct {
 	ep  *mctp.Endpoint
 	tr  *trace.Tracer
 
+	// mMI counts NVMe-MI commands served (nil-safe when metrics are off).
+	mMI *obs.Counter
+
 	namespaces map[string]*engine.Namespace
 	reqQ       *sim.Queue[inbound]
 
@@ -93,6 +97,7 @@ func New(env *sim.Env, eng *engine.Engine, cfg Config) *Controller {
 		monitor:    make(map[pcie.FuncID][]MonitorSample),
 		lastCtr:    make(map[pcie.FuncID]engine.IOCounters),
 	}
+	c.mMI = env.Metrics().Component("bmsc").Counter("mi_cmds")
 	c.ep = mctp.NewEndpoint(cfg.EID, func(raw []byte) { eng.VDMToHost(raw) })
 	eng.SetVDMHandler(c.ep.Receive)
 	c.ep.SetHandler(func(src uint8, msgType uint8, body []byte) {
@@ -142,6 +147,7 @@ func (c *Controller) handle(p *sim.Proc, msg mctp.MIMessage) mctp.MIMessage {
 	if c.tr != nil {
 		c.tr.Emit(c.env.Now(), "bmsc", "mi", uint64(msg.Opcode), uint64(msg.RequestID), "")
 	}
+	c.mMI.Inc()
 	fail := func(status uint8, err error) mctp.MIMessage {
 		c.logf("op %#x failed: %v", msg.Opcode, err)
 		return mctp.MIMessage{Status: status, Payload: []byte(err.Error())}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bmstore/internal/nvme"
+	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/ssd"
@@ -40,6 +41,10 @@ type backend struct {
 
 	ready  bool
 	nextRR int
+
+	// Per-backend instruments (nil-safe no-ops when metrics are off).
+	mInflight *obs.Gauge
+	mSubmits  *obs.Counter
 }
 
 type beSQ struct {
@@ -74,6 +79,11 @@ func (e *Engine) AttachBackend(dev *ssd.SSD, link *pcie.Link) int {
 		idx:     idx,
 		dev:     dev,
 		pending: make(map[uint16]*bePending),
+	}
+	if e.met != nil {
+		comp := e.met.Instance("engine/backend")
+		b.mInflight = comp.Gauge("inflight")
+		b.mSubmits = comp.Counter("io_submitted")
 	}
 	b.port = pcie.Connect(e.env, link, backendTarget{e}, func(fn pcie.FuncID, vec int) {
 		b.onIRQ(vec)
@@ -244,8 +254,11 @@ func (b *backend) adminCmd(p *sim.Proc, cmd nvme.Command) nvme.Completion {
 
 // submitIO sends one I/O command to the SSD, respecting the quiesce gate
 // and queue-depth flow control. done runs in scheduler context on
-// completion. qhint spreads submitters over the queue pairs.
-func (b *backend) submitIO(p *sim.Proc, cmd nvme.Command, qhint int, done func(nvme.Completion)) {
+// completion. qhint spreads submitters over the queue pairs. skey, when
+// non-zero, is the host-side span key; the backend aliases it to the
+// device-side (serial, queue, CID) coordinates so the SSD can attribute
+// its media time to the right request span.
+func (b *backend) submitIO(p *sim.Proc, cmd nvme.Command, qhint int, skey uint64, done func(nvme.Completion)) {
 	b.waitGate(p)
 	sq := b.ioSQs[qhint%len(b.ioSQs)]
 	sq.slots.Acquire(p)
@@ -253,6 +266,13 @@ func (b *backend) submitIO(p *sim.Proc, cmd nvme.Command, qhint int, done func(n
 	cmd.CID = cid
 	cmd.NSID = b.backendNSID
 	b.inflight++
+	if b.e.met != nil {
+		if skey != 0 {
+			b.e.met.SpanAlias(skey, obs.DevKey(b.dev.Config().Serial, sq.id, cid))
+		}
+		b.mInflight.Inc(b.e.env.Now())
+		b.mSubmits.Inc()
+	}
 	b.pending[cid] = &bePending{sq: sq, done: done}
 	b.push(sq, cmd)
 }
@@ -293,6 +313,7 @@ func (b *backend) complete(cpl nvme.Completion) {
 	pend.sq.slots.Release()
 	if pend.sq != b.adminSQ {
 		b.inflight--
+		b.mInflight.Dec(b.e.env.Now())
 		if b.inflight == 0 && b.drainEv != nil {
 			b.drainEv.Trigger(nil)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bmstore/internal/hostmem"
+	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/trace"
@@ -67,6 +68,12 @@ type Engine struct {
 	// tr is the determinism tracer cached at construction; nil when
 	// tracing is off, so every instrumentation point costs one compare.
 	tr *trace.Tracer
+	// met is the metrics registry, cached under the same contract; the
+	// front end marks span stages through it and the counters below are
+	// nil-safe no-ops when metrics are off.
+	met       *obs.Registry
+	mDispatch *obs.Counter
+	mFlushes  *obs.Counter
 
 	hostPort *pcie.Port
 	chip     *hostmem.Memory
@@ -95,8 +102,14 @@ func New(env *sim.Env, cfg Config) *Engine {
 		env:      env,
 		cfg:      cfg,
 		tr:       env.Tracer(),
+		met:      env.Metrics(),
 		chip:     hostmem.New(cfg.ChipMemBytes),
 		Firmware: "BMS_1.0",
+	}
+	if e.met != nil {
+		fe := e.met.Component("engine/frontend")
+		e.mDispatch = fe.Counter("io_dispatched")
+		e.mFlushes = fe.Counter("flushes")
 	}
 	e.funcs = make([]*function, cfg.NumPFs+cfg.NumVFs)
 	for i := range e.funcs {

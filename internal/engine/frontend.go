@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"bmstore/internal/nvme"
+	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 )
@@ -274,6 +275,15 @@ func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint
 		fail(nvme.StatusInvalidOpcode)
 		return
 	}
+	// The span key mirrors the one the host driver used at SpanStart; the
+	// engine only adds stage marks to an already-live span.
+	skey := uint64(0)
+	if f.e.met != nil {
+		skey = obs.SpanKey(uint8(f.id), sq.id, cmd.CID)
+		f.e.met.SpanMark(skey, obs.MarkDispatch, f.e.env.Now())
+	}
+	f.e.mDispatch.Inc()
+
 	slba := cmd.SLBA()
 	nlb := cmd.NLB()
 	if slba+uint64(nlb) > ns.SizeLBA {
@@ -305,6 +315,10 @@ func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint
 		fail(st)
 		return
 	}
+	if f.e.met != nil {
+		// map+qos stage closes once admission and PRP rewriting are done.
+		f.e.met.SpanMark(skey, obs.MarkMapped, p.Now())
+	}
 
 	// Forward to the host adaptor (step 3) and join sub-completions.
 	remaining := len(subs)
@@ -316,13 +330,16 @@ func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint
 		bcmd.SetSLBA(sub.physLBA)
 		bcmd.SetNLB(sub.blocks)
 		p.Sleep(f.e.cfg.ForwardLatency)
-		be.submitIO(p, bcmd, int(f.id)*7+int(sq.id), func(c nvme.Completion) {
+		be.submitIO(p, bcmd, int(f.id)*7+int(sq.id), skey, func(c nvme.Completion) {
 			if c.Status.IsError() && worst == nvme.StatusSuccess {
 				worst = c.Status
 			}
 			remaining--
 			if remaining > 0 {
 				return
+			}
+			if f.e.met != nil {
+				f.e.met.SpanMark(skey, obs.MarkBackendDone, f.e.env.Now())
 			}
 			f.e.freeChipPages(listPages)
 			lat := f.e.env.Now() - start
@@ -346,10 +363,11 @@ func (f *function) forwardFlush(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead 
 		f.postCQE(sq.cqid, nvme.Completion{CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead)})
 		return
 	}
+	f.e.mFlushes.Inc()
 	worst := nvme.StatusSuccess
 	for _, idx := range ssds {
 		be := f.e.backends[idx]
-		be.submitIO(p, nvme.Command{Opcode: nvme.IOFlush}, int(f.id), func(c nvme.Completion) {
+		be.submitIO(p, nvme.Command{Opcode: nvme.IOFlush}, int(f.id), 0, func(c nvme.Completion) {
 			if c.Status.IsError() && worst == nvme.StatusSuccess {
 				worst = c.Status
 			}

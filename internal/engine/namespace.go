@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/ssd"
@@ -28,6 +29,10 @@ type Namespace struct {
 	// Engine I/O counters, read by the BMS-Controller's I/O monitor.
 	ReadStats  stats.IOStats
 	WriteStats stats.IOStats
+
+	// QoS command-buffer instruments (nil-safe no-ops when metrics are off).
+	mBuffered *obs.Gauge
+	mParked   *obs.Counter
 
 	env *sim.Env
 }
@@ -64,6 +69,11 @@ func (e *Engine) CreateNamespace(name string, sizeBytes uint64, ssds []int) (*Na
 		mt:        mt,
 		qos:       newQoSBucket(e.env, QoSLimits{}),
 		env:       e.env,
+	}
+	if e.met != nil {
+		comp := e.met.Component("engine/ns/" + name)
+		ns.mBuffered = comp.Gauge("qos_buffered")
+		ns.mParked = comp.Counter("qos_parked")
 	}
 	for i := 0; i < nChunks; i++ {
 		be := e.backends[ssds[i%len(ssds)]]
@@ -167,6 +177,8 @@ func (ns *Namespace) admit(p *sim.Proc, nBytes int) {
 	}
 	be := &bufEntry{ev: ns.env.NewEvent(), nBytes: nBytes}
 	ns.buffer = append(ns.buffer, be)
+	ns.mParked.Inc()
+	ns.mBuffered.Inc(ns.env.Now())
 	if !ns.dispatching {
 		ns.dispatching = true
 		ns.env.Go("engine/qos-dispatch", func(dp *sim.Proc) { ns.dispatch(dp) })
@@ -186,6 +198,7 @@ func (ns *Namespace) dispatch(p *sim.Proc) {
 			continue
 		}
 		ns.buffer = ns.buffer[1:]
+		ns.mBuffered.Dec(p.Now())
 		head.ev.Trigger(nil)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"bmstore"
+	"bmstore/internal/obs"
 	"bmstore/internal/trace"
 )
 
@@ -96,9 +97,10 @@ func (p *Pool) Each(n int, fn func(i int)) {
 // per-rig determinism tracers. Every experiment takes a *Harness; tests and
 // benchmarks use Serial, cmd/bmstore-bench builds one from its flags.
 type Harness struct {
-	Scale  Scale
-	pool   *Pool
-	traces *trace.Set
+	Scale   Scale
+	pool    *Pool
+	traces  *trace.Set
+	metrics *obs.Set
 }
 
 // NewHarness returns a harness running at the given scale with up to
@@ -112,6 +114,15 @@ func NewHarness(sc Scale, parallel int, traces *trace.Set) *Harness {
 
 // Serial returns a one-worker, untraced harness at the given scale.
 func Serial(sc Scale) *Harness { return &Harness{Scale: sc, pool: NewPool(1)} }
+
+// WithMetrics attaches a family of per-rig metrics registries: every rig the
+// harness configures gets its own child registry, and the set's exports
+// afterwards are byte-identical regardless of the worker bound. Returns the
+// harness for chaining; a nil set leaves metrics off.
+func (h *Harness) WithMetrics(set *obs.Set) *Harness {
+	h.metrics = set
+	return h
+}
 
 // Parallelism returns the harness's worker bound.
 func (h *Harness) Parallelism() int { return h.pool.Workers() }
@@ -127,6 +138,9 @@ func (h *Harness) config(rig string, seed int64) bmstore.Config {
 	cfg.Seed = seed
 	if h.traces != nil {
 		cfg.Tracer = h.traces.Tracer(rig)
+	}
+	if h.metrics != nil {
+		cfg.Metrics = h.metrics.Registry(rig)
 	}
 	return cfg
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"bmstore/internal/nvme"
+	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/trace"
@@ -47,6 +48,16 @@ type Driver struct {
 	cfg  DriverConfig
 	tr   *trace.Tracer
 
+	// met and the cached instruments are nil when metrics are off; every
+	// I/O then pays one nil check per observation point. The driver opens
+	// a request span per non-flush I/O, keyed by (fn, qid, CID) — the same
+	// identity the engine front end sees on the other side of the wire.
+	met        *obs.Registry
+	mInflight  *obs.Gauge
+	mDoorbells *obs.Counter
+	mCQEs      *obs.Counter
+	mSplits    *obs.Counter
+
 	admin  *dq
 	queues []*dq
 
@@ -80,6 +91,14 @@ func AttachDriver(p *sim.Proc, h *Host, port *pcie.Port, fn pcie.FuncID, cfg Dri
 		cfg.MaxIOBytes = 1 << 20
 	}
 	d := &Driver{h: h, port: port, fn: fn, cfg: cfg, tr: h.Env.Tracer()}
+	if met := h.Env.Metrics(); met != nil {
+		d.met = met
+		comp := met.Instance("host/driver")
+		d.mInflight = comp.Gauge("inflight")
+		d.mDoorbells = comp.Counter("doorbells")
+		d.mCQEs = comp.Counter("cqes")
+		d.mSplits = comp.Counter("block_splits")
+	}
 	h.register(d)
 
 	// Admin queue pair.
@@ -214,6 +233,12 @@ func (d *Driver) IRQ(vec int) {
 			d.tr.Emit(h.Env.Now(), "host", "cqe",
 				uint64(d.fn)<<32|uint64(vec)<<16|uint64(cpl.CID), uint64(cpl.Status), "")
 		}
+		if d.met != nil && q.id != 0 {
+			// Admin completions (q 0) carry no span; flush CQEs miss the
+			// span map and the mark is a no-op.
+			d.met.SpanMark(obs.SpanKey(uint8(d.fn), q.id, cpl.CID), obs.MarkCQE, h.Env.Now())
+			d.mCQEs.Inc()
+		}
 		if ev := q.wait[cpl.CID]; ev != nil {
 			delete(q.wait, cpl.CID)
 			ev.Trigger(cpl)
@@ -251,7 +276,14 @@ func (d *Driver) IO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte
 	}
 	// Block-layer split on old kernels.
 	if sp := d.h.Kernel.SplitBytes; sp > 0 && op != nvme.IOFlush && nBytes > sp {
+		d.mSplits.Inc()
 		return d.splitIO(p, op, lba, blocks, buf, qIdx, sp)
+	}
+	// Span start: the timestamp is taken here (kernel entry), the key once
+	// the queue slot — and with it the CID — is known.
+	spanT0 := int64(0)
+	if d.met != nil && op != nvme.IOFlush {
+		spanT0 = d.h.Env.Now()
 	}
 	// In-path submission cost.
 	sub := d.h.Kernel.SubmitLatency
@@ -286,12 +318,30 @@ func (d *Driver) IO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte
 		d.tr.Emit(d.h.Env.Now(), "host", "doorbell",
 			uint64(d.fn)<<32|uint64(q.id)<<16|uint64(op), uint64(q.tail), "")
 	}
+	var spanKey uint64
+	if d.met != nil && op != nvme.IOFlush {
+		spanKey = obs.SpanKey(uint8(d.fn), q.id, cmd.CID)
+		spanOp := obs.OpRead
+		if op == nvme.IOWrite {
+			spanOp = obs.OpWrite
+		}
+		now := d.h.Env.Now()
+		d.met.SpanStart(spanKey, spanOp, spanT0)
+		d.met.SpanMark(spanKey, obs.MarkDoorbell, now)
+		d.mInflight.Inc(now)
+	}
+	d.mDoorbells.Inc()
 	d.port.MMIOWrite(d.fn, nvme.SQDoorbell(q.id), uint64(q.tail))
 
 	cpl := p.Wait(ev).(nvme.Completion)
 	p.Sleep(comp)
 	if op == nvme.IORead && buf != nil {
 		d.h.Mem.Read(q.buf[slot], buf)
+	}
+	if d.met != nil && op != nvme.IOFlush {
+		now := d.h.Env.Now()
+		d.met.SpanFinish(spanKey, now)
+		d.mInflight.Dec(now)
 	}
 	q.free = append(q.free, slot)
 	q.slots.Release()

@@ -1,0 +1,338 @@
+// Package obs is the simulation-time observability layer: a per-rig metrics
+// registry holding named counters, gauges and latency histograms per
+// component instance, request-lifecycle spans folded into per-stage latency
+// histograms (the paper's "where does each microsecond go" breakdown), and
+// fixed-interval virtual-time series for queue depth and bandwidth plots.
+//
+// Three rules keep the layer deterministic and honest:
+//
+//   - Virtual time only. Every instrument takes explicit int64 nanosecond
+//     timestamps from the simulation clock; nothing in this package reads
+//     the wall clock, so exported snapshots are pure functions of the seed.
+//
+//   - Passive observation only. The registry never schedules events,
+//     spawns processes or sleeps: samplers are time-weighted accumulators
+//     updated at the observation points the model already passes through.
+//     Enabling metrics therefore cannot perturb the event stream, which is
+//     what keeps trace digests identical with and without metrics.
+//
+//   - Nil means free. Every method on every type is safe on a nil
+//     receiver and does nothing, the same discipline as internal/trace:
+//     components cache instrument pointers at construction and a rig built
+//     without a registry pays one nil check per observation point.
+//
+// The package depends only on internal/stats and the standard library
+// (timestamps travel as plain int64), so the sim kernel can hold a
+// *Registry without an import cycle.
+package obs
+
+import (
+	"sort"
+	"strconv"
+
+	"bmstore/internal/stats"
+)
+
+// Options configures a Registry.
+type Options struct {
+	// SeriesInterval is the virtual-time bin width, in nanoseconds, of the
+	// fixed-interval series kept by gauges and rate counters. Zero or
+	// negative disables series (scalar values and peaks are still kept).
+	SeriesInterval int64
+}
+
+// DefaultSeriesInterval is the bin width New uses: 1 ms of virtual time,
+// fine enough for the paper's IOPS/bandwidth-over-time plots.
+const DefaultSeriesInterval = 1_000_000
+
+// Registry is the per-rig metrics root. One Registry belongs to exactly one
+// simulation environment and is not safe for concurrent use — the kernel's
+// run-to-completion handoff guarantees single-threaded access, the same
+// contract as trace.Tracer.
+type Registry struct {
+	opts    Options
+	comps   map[string]*Component
+	instSeq map[string]int
+	spans   spanTable
+}
+
+// New returns a registry with the given options.
+func New(opts Options) *Registry {
+	r := &Registry{
+		opts:    opts,
+		comps:   make(map[string]*Component),
+		instSeq: make(map[string]int),
+	}
+	r.spans.init()
+	return r
+}
+
+// NewRegistry returns a registry with the default 1 ms series interval.
+func NewRegistry() *Registry { return New(Options{SeriesInterval: DefaultSeriesInterval}) }
+
+// Component returns the named component, creating it on first use. Nil-safe:
+// a nil registry returns a nil component, whose instrument getters in turn
+// return nil instruments — the whole chain degrades to no-ops.
+func (r *Registry) Component(name string) *Component {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.comps[name]; ok {
+		return c
+	}
+	c := &Component{r: r, name: name}
+	r.comps[name] = c
+	return c
+}
+
+// Instance returns a fresh component named prefix plus a per-prefix index
+// assigned in creation order ("host/driver0", "host/driver1", ...).
+// Creation order inside one environment is deterministic, so instance names
+// are stable across runs.
+func (r *Registry) Instance(prefix string) *Component {
+	if r == nil {
+		return nil
+	}
+	i := r.instSeq[prefix]
+	r.instSeq[prefix] = i + 1
+	return r.Component(prefix + strconv.Itoa(i))
+}
+
+// componentNames returns registered component names in sorted order.
+func (r *Registry) componentNames() []string {
+	names := make([]string, 0, len(r.comps))
+	for name := range r.comps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Component is one instrumented entity: a driver, an engine backend, an
+// SSD, a PCIe link. Instruments are registered by name on first use and
+// iterate in sorted-name order at export time.
+type Component struct {
+	r        *Registry
+	name     string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Hist
+}
+
+// Counter returns the named counter, creating it on first use.
+func (c *Component) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	if ctr, ok := c.counters[name]; ok {
+		return ctr
+	}
+	if c.counters == nil {
+		c.counters = make(map[string]*Counter)
+	}
+	ctr := &Counter{}
+	c.counters[name] = ctr
+	return ctr
+}
+
+// RateCounter returns the named counter with a fixed-interval series
+// attached (when the registry has one configured), so AddAt calls feed a
+// per-bin rate usable for bandwidth/IOPS-over-time plots.
+func (c *Component) RateCounter(name string) *Counter {
+	ctr := c.Counter(name)
+	if ctr != nil && ctr.series == nil && c.r.opts.SeriesInterval > 0 {
+		ctr.series = stats.NewSeries(c.r.opts.SeriesInterval)
+	}
+	return ctr
+}
+
+// Gauge returns the named gauge, creating it on first use. Gauges keep a
+// time-weighted mean series when the registry has an interval configured.
+func (c *Component) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	if g, ok := c.gauges[name]; ok {
+		return g
+	}
+	if c.gauges == nil {
+		c.gauges = make(map[string]*Gauge)
+	}
+	g := &Gauge{interval: c.r.opts.SeriesInterval}
+	c.gauges[name] = g
+	return g
+}
+
+// Hist returns the named histogram, creating it on first use.
+func (c *Component) Hist(name string) *Hist {
+	if c == nil {
+		return nil
+	}
+	if h, ok := c.hists[name]; ok {
+		return h
+	}
+	if c.hists == nil {
+		c.hists = make(map[string]*Hist)
+	}
+	h := &Hist{}
+	c.hists[name] = h
+	return h
+}
+
+// Counter is a monotonically increasing event count, optionally with a
+// fixed-interval series (see Component.RateCounter).
+type Counter struct {
+	v      uint64
+	series *stats.Series
+}
+
+// Inc adds one. The series, if any, is not touched — Inc is the hot-path
+// form for call sites that have no timestamp at hand (the sim kernel).
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add adds n without touching the series.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// AddAt adds n and accounts it to the series bin containing virtual time t.
+func (c *Counter) AddAt(t int64, n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+	if c.series != nil {
+		c.series.Add(t, float64(n))
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level (queue depth, in-flight I/Os). Between
+// updates the value is integrated over virtual time, so the exported series
+// holds the true time-weighted mean per bin — a passive sampler needing no
+// scheduled events.
+type Gauge struct {
+	v        int64
+	peak     int64
+	interval int64
+	lastT    int64
+	sums     []float64 // per-bin integral of v dt, in value-nanoseconds
+}
+
+// Set moves the gauge to v at virtual time t. Updates must arrive in
+// non-decreasing time order, which the single-threaded environment gives
+// for free.
+func (g *Gauge) Set(t, v int64) {
+	if g == nil {
+		return
+	}
+	g.advance(t)
+	g.v = v
+	if v > g.peak {
+		g.peak = v
+	}
+}
+
+// Inc raises the gauge by one at virtual time t.
+func (g *Gauge) Inc(t int64) {
+	if g == nil {
+		return
+	}
+	g.Set(t, g.v+1)
+}
+
+// Dec lowers the gauge by one at virtual time t.
+func (g *Gauge) Dec(t int64) {
+	if g == nil {
+		return
+	}
+	g.Set(t, g.v-1)
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Peak returns the highest level ever set (0 on nil).
+func (g *Gauge) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak
+}
+
+// advance integrates the current value over [lastT, t) into the per-bin
+// sums.
+func (g *Gauge) advance(t int64) {
+	if g.interval <= 0 || t <= g.lastT {
+		g.lastT = t
+		return
+	}
+	for g.lastT < t {
+		bin := g.lastT / g.interval
+		binEnd := (bin + 1) * g.interval
+		seg := t - g.lastT
+		if binEnd-g.lastT < seg {
+			seg = binEnd - g.lastT
+		}
+		for int64(len(g.sums)) <= bin {
+			g.sums = append(g.sums, 0)
+		}
+		g.sums[bin] += float64(g.v) * float64(seg)
+		g.lastT += seg
+	}
+}
+
+// meanBins returns the time-weighted mean level per bin, closing the
+// integral at virtual time now.
+func (g *Gauge) meanBins(now int64) []float64 {
+	if g.interval <= 0 {
+		return nil
+	}
+	g.advance(now)
+	out := make([]float64, len(g.sums))
+	for i, s := range g.sums {
+		out[i] = s / float64(g.interval)
+	}
+	return out
+}
+
+// Hist is a latency histogram instrument over nanosecond samples.
+type Hist struct {
+	h stats.Hist
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.h.Record(v)
+}
+
+// Stats returns the underlying histogram for read access (nil on nil).
+func (h *Hist) Stats() *stats.Hist {
+	if h == nil {
+		return nil
+	}
+	return &h.h
+}

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestNilChainIsFree: the whole instrument chain must degrade to no-ops on a
+// nil registry — this is the contract that lets every instrumentation site
+// guard with a single nil check and pay nothing when metrics are off.
+func TestNilChainIsFree(t *testing.T) {
+	var r *Registry
+	c := r.Component("x")
+	if c != nil {
+		t.Fatal("nil registry returned a non-nil component")
+	}
+	if r.Instance("x") != nil {
+		t.Fatal("nil registry returned a non-nil instance")
+	}
+	// None of these may panic, and all reads must return zero values.
+	ctr := c.Counter("n")
+	ctr.Inc()
+	ctr.Add(3)
+	ctr.AddAt(10, 4)
+	if ctr.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g := c.Gauge("g")
+	g.Set(0, 5)
+	g.Inc(1)
+	g.Dec(2)
+	if g.Value() != 0 || g.Peak() != 0 {
+		t.Fatal("nil gauge has state")
+	}
+	h := c.Hist("h")
+	h.Record(100)
+	if h.Stats() != nil {
+		t.Fatal("nil hist returned stats")
+	}
+	r.SpanStart(1, OpRead, 0)
+	r.SpanMark(1, MarkDoorbell, 1)
+	r.SpanAlias(1, 2)
+	r.SpanMedia(2, 3)
+	r.SpanFinish(1, 4)
+	if agg := r.SpanAggregate(); agg.Finished[OpRead] != 0 {
+		t.Fatal("nil registry folded spans")
+	}
+
+	var s *Set
+	if s.Registry("rig") != nil {
+		t.Fatal("nil set returned a registry")
+	}
+}
+
+// TestInstanceNaming: per-prefix indices are assigned in creation order and
+// components are interned by name.
+func TestInstanceNaming(t *testing.T) {
+	r := NewRegistry()
+	a := r.Instance("host/driver")
+	b := r.Instance("host/driver")
+	l := r.Instance("pcie/link")
+	if a.name != "host/driver0" || b.name != "host/driver1" || l.name != "pcie/link0" {
+		t.Fatalf("instance names %q %q %q", a.name, b.name, l.name)
+	}
+	if r.Component("host/driver0") != a {
+		t.Fatal("instance not interned under its numbered name")
+	}
+	if a.Counter("n") != a.Counter("n") {
+		t.Fatal("counter not interned by name")
+	}
+}
+
+// TestGaugeTimeWeighting: between updates the level is integrated over
+// virtual time, so per-bin means are true time-weighted averages — the
+// passive replacement for a scheduled sampler.
+func TestGaugeTimeWeighting(t *testing.T) {
+	g := &Gauge{interval: 100}
+	g.Set(0, 2)   // level 2 over [0,50)
+	g.Set(50, 4)  // level 4 over [50,100)
+	g.Set(100, 1) // level 1 over [100,150)
+	bins := g.meanBins(150)
+	if len(bins) != 2 {
+		t.Fatalf("bins %v", bins)
+	}
+	if want := (2*50 + 4*50) / 100.0; math.Abs(bins[0]-want) > 1e-9 {
+		t.Fatalf("bin 0 mean %v, want %v", bins[0], want)
+	}
+	// Bin 1 only covers [100,150): the integral is 1*50 over a 100ns bin.
+	if want := 1 * 50 / 100.0; math.Abs(bins[1]-want) > 1e-9 {
+		t.Fatalf("bin 1 mean %v, want %v", bins[1], want)
+	}
+	if g.Peak() != 4 || g.Value() != 1 {
+		t.Fatalf("peak %d value %d", g.Peak(), g.Value())
+	}
+
+	// A gauge with no interval keeps scalar state only.
+	g2 := &Gauge{}
+	g2.Inc(10)
+	g2.Inc(20)
+	g2.Dec(30)
+	if g2.Value() != 1 || g2.Peak() != 2 || g2.meanBins(100) != nil {
+		t.Fatalf("intervalless gauge: value %d peak %d", g2.Value(), g2.Peak())
+	}
+}
+
+// TestRateCounterSeries: AddAt feeds the per-bin series, Inc/Add do not.
+func TestRateCounterSeries(t *testing.T) {
+	r := New(Options{SeriesInterval: 100})
+	ctr := r.Component("link").RateCounter("bytes")
+	ctr.AddAt(10, 4096)
+	ctr.AddAt(150, 4096)
+	ctr.Inc() // hot-path form: counts, no series sample
+	if ctr.Value() != 8193 {
+		t.Fatalf("value %d", ctr.Value())
+	}
+	if ctr.series == nil {
+		t.Fatal("rate counter has no series despite configured interval")
+	}
+	// With series disabled, RateCounter degrades to a plain counter.
+	r2 := New(Options{})
+	if r2.Component("link").RateCounter("bytes").series != nil {
+		t.Fatal("series attached despite zero interval")
+	}
+}
+
+// markAll walks one span through the full BM-Store path with the given
+// per-mark timestamps.
+func markAll(r *Registry, key uint64, op Op, ts [numMarks]int64) {
+	r.SpanStart(key, op, ts[MarkStart])
+	for m := MarkDoorbell; m < MarkFinish; m++ {
+		r.SpanMark(key, m, ts[m])
+	}
+	r.SpanFinish(key, ts[MarkFinish])
+}
+
+// TestSpanFullPathPartition: full-path stages partition the lifetime, so
+// stage sums reconstruct the end-to-end latency exactly.
+func TestSpanFullPathPartition(t *testing.T) {
+	r := NewRegistry()
+	ts := [numMarks]int64{0, 10, 25, 45, 145, 160, 170}
+	markAll(r, SpanKey(1, 2, 3), OpRead, ts)
+
+	agg := r.SpanAggregate()
+	if agg.Finished[OpRead] != 1 || agg.Dropped != 0 || agg.Live != 0 {
+		t.Fatalf("finished %v dropped %d live %d", agg.Finished, agg.Dropped, agg.Live)
+	}
+	wantStage := map[Stage]int64{
+		StageSubmit:   10,  // 0 -> 10
+		StageFrontend: 15,  // 10 -> 25
+		StageMap:      20,  // 25 -> 45
+		StageBackend:  100, // 45 -> 145
+		StageComplete: 15,  // 145 -> 160
+		StageReap:     10,  // 160 -> 170
+	}
+	var sum float64
+	for st, want := range wantStage {
+		h := &agg.Stage[OpRead][st]
+		if h.N() != 1 || h.Mean() != float64(want) {
+			t.Errorf("stage %s: n=%d mean=%v, want one sample of %d", st, h.N(), h.Mean(), want)
+		}
+		sum += h.Mean()
+	}
+	if agg.Stage[OpRead][StageDevice].N() != 0 {
+		t.Error("full-path span recorded a device stage")
+	}
+	if e2e := agg.E2E[OpRead].Mean(); sum != e2e || e2e != 170 {
+		t.Fatalf("stage mean sum %v != e2e mean %v", sum, e2e)
+	}
+}
+
+// TestSpanDirectPath: without a dispatch mark (no engine in the path) the
+// span folds into submit/device/reap.
+func TestSpanDirectPath(t *testing.T) {
+	r := NewRegistry()
+	key := SpanKey(0, 1, 9)
+	r.SpanStart(key, OpWrite, 0)
+	r.SpanMark(key, MarkDoorbell, 8)
+	r.SpanMark(key, MarkCQE, 108)
+	r.SpanFinish(key, 120)
+
+	agg := r.SpanAggregate()
+	if agg.Finished[OpWrite] != 1 {
+		t.Fatalf("finished %v", agg.Finished)
+	}
+	if d := &agg.Stage[OpWrite][StageDevice]; d.N() != 1 || d.Mean() != 100 {
+		t.Fatalf("device stage n=%d mean=%v", d.N(), d.Mean())
+	}
+	if agg.Stage[OpWrite][StageFrontend].N() != 0 || agg.Stage[OpWrite][StageBackend].N() != 0 {
+		t.Fatal("direct span recorded engine stages")
+	}
+}
+
+// TestSpanErrorPathDropped: a span the engine saw but never completed the
+// pipeline for (dispatch without mapped/backend) is counted as dropped, not
+// misattributed to some stage.
+func TestSpanErrorPathDropped(t *testing.T) {
+	r := NewRegistry()
+	key := SpanKey(0, 1, 1)
+	r.SpanStart(key, OpRead, 0)
+	r.SpanMark(key, MarkDoorbell, 5)
+	r.SpanMark(key, MarkDispatch, 9)
+	r.SpanMark(key, MarkCQE, 50)
+	r.SpanFinish(key, 60)
+
+	agg := r.SpanAggregate()
+	if agg.Dropped != 1 || agg.Finished[OpRead] != 0 {
+		t.Fatalf("dropped %d finished %v", agg.Dropped, agg.Finished)
+	}
+	// Finishing an unknown key is also a drop, never a panic.
+	r.SpanFinish(12345, 70)
+	if agg := r.SpanAggregate(); agg.Dropped != 2 {
+		t.Fatalf("dropped %d", agg.Dropped)
+	}
+}
+
+// TestSpanCollision: restarting a live key abandons the old span and counts
+// a collision (multi-driver direct rigs share function 0).
+func TestSpanCollision(t *testing.T) {
+	r := NewRegistry()
+	key := SpanKey(0, 1, 1)
+	r.SpanStart(key, OpRead, 0)
+	r.SpanStart(key, OpRead, 10)
+	agg := r.SpanAggregate()
+	if agg.Collisions != 1 || agg.Live != 1 {
+		t.Fatalf("collisions %d live %d", agg.Collisions, agg.Live)
+	}
+}
+
+// TestSpanAliasMedia: the device-domain alias lets the SSD attribute media
+// time; parallel sub-commands keep the max; finish tears the alias down.
+func TestSpanAliasMedia(t *testing.T) {
+	r := NewRegistry()
+	key := SpanKey(1, 1, 1)
+	ak1 := DevKey("SSDA", 3, 7)
+	ak2 := DevKey("SSDB", 3, 7)
+	if ak1 == ak2 {
+		t.Fatal("distinct serials produced the same alias key")
+	}
+	ts := [numMarks]int64{0, 1, 2, 3, 90, 95, 100}
+	r.SpanStart(key, OpRead, ts[MarkStart])
+	for m := MarkDoorbell; m < MarkFinish; m++ {
+		r.SpanMark(key, m, ts[m])
+	}
+	r.SpanAlias(key, ak1)
+	r.SpanAlias(key, ak2)
+	r.SpanMedia(ak1, 40)
+	r.SpanMedia(ak2, 55) // slower sub-command wins
+	r.SpanMedia(ak1, 30) // later, smaller: ignored
+	r.SpanFinish(key, ts[MarkFinish])
+
+	agg := r.SpanAggregate()
+	if m := &agg.Media[OpRead]; m.N() != 1 || m.Mean() != 55 {
+		t.Fatalf("media n=%d mean=%v, want max 55", m.N(), m.Mean())
+	}
+	// Aliases must be gone: media on a stale alias is a no-op.
+	r.SpanMedia(ak1, 999)
+	if agg := r.SpanAggregate(); agg.Media[OpRead].Mean() != 55 {
+		t.Fatal("stale alias still attributed media time")
+	}
+	if len(r.spans.alias) != 0 {
+		t.Fatalf("%d alias entries leaked", len(r.spans.alias))
+	}
+}
+
+// buildRig populates a registry in the given component creation order; the
+// contents are order-independent, so exports must be byte-identical.
+func buildRig(r *Registry, order []string) {
+	for _, name := range order {
+		c := r.Component(name)
+		c.Counter("ops").Add(uint64(len(name)))
+		c.Gauge("depth").Set(0, int64(len(name)))
+		c.Gauge("depth").Set(1000, 0)
+		c.Hist("lat_ns").Record(int64(1000 * len(name)))
+	}
+	markAll(r, SpanKey(0, 1, 1), OpRead, [numMarks]int64{0, 1, 2, 3, 4, 5, 6})
+}
+
+// TestExportDeterministicOrder: snapshots iterate components and instruments
+// in sorted-name order, so registration order (which varies with goroutine
+// interleaving across rigs, never within one) cannot leak into the bytes.
+func TestExportDeterministicOrder(t *testing.T) {
+	export := func(order []string) (string, string) {
+		set := NewSet(Options{SeriesInterval: DefaultSeriesInterval})
+		buildRig(set.Registry("rig"), order)
+		var j, c bytes.Buffer
+		if err := set.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := set.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := export([]string{"ssd/A", "host/driver0", "engine/backend0"})
+	j2, c2 := export([]string{"engine/backend0", "ssd/A", "host/driver0"})
+	if j1 != j2 {
+		t.Errorf("JSON depends on component creation order:\n%s\nvs\n%s", j1, j2)
+	}
+	if c1 != c2 {
+		t.Error("CSV depends on component creation order")
+	}
+	if len(j1) == 0 || len(c1) == 0 {
+		t.Fatal("empty export")
+	}
+}
+
+// TestSetAggregateAndBreakdown: the set merges per-rig span tables, and the
+// breakdown writer renders a stage table whose sum row matches e2e.
+func TestSetAggregateAndBreakdown(t *testing.T) {
+	set := NewSet(Options{})
+	markAll(set.Registry("a"), SpanKey(0, 1, 1), OpRead, [numMarks]int64{0, 10, 20, 30, 40, 50, 60})
+	markAll(set.Registry("b"), SpanKey(0, 1, 1), OpRead, [numMarks]int64{0, 20, 40, 60, 80, 100, 120})
+
+	agg := set.Aggregate()
+	if agg.Finished[OpRead] != 2 {
+		t.Fatalf("finished %v", agg.Finished)
+	}
+	if agg.E2E[OpRead].N() != 2 || agg.E2E[OpRead].Mean() != 90 {
+		t.Fatalf("e2e n=%d mean=%v", agg.E2E[OpRead].N(), agg.E2E[OpRead].Mean())
+	}
+	var buf bytes.Buffer
+	if err := set.WriteBreakdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"submit", "frontend", "map+qos", "backend", "complete", "reap", "stage sum", "end-to-end"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}

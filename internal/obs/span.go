@@ -1,0 +1,324 @@
+package obs
+
+import "bmstore/internal/stats"
+
+// Request-lifecycle spans. Each non-flush I/O the host driver submits
+// carries a span keyed by its NVMe identity (function, queue, CID) — the
+// same triple both ends of the simulated wire can compute, so the span
+// needs no pointer smuggled through rings or DMA. Instrumentation points
+// mark stage timestamps as the command moves submit → doorbell → engine
+// dispatch → mapping/QoS → backend/SSD → completion → MSI reap; at Finish
+// the marks are folded into per-stage latency histograms.
+//
+// Stage boundaries partition the I/O's lifetime, so for any set of
+// completed spans the per-stage means sum exactly to the end-to-end mean —
+// the consistency property the breakdown table advertises.
+//
+// The NAND/media phase happens inside an SSD that only sees the backend's
+// rewritten command, not the tenant's. The engine backend bridges the gap
+// by registering an alias key in the device domain (serial, backend queue,
+// backend CID); the SSD attributes its media time through that alias.
+
+// Op is the I/O direction of a span.
+type Op uint8
+
+// Span directions.
+const (
+	OpRead Op = iota
+	OpWrite
+	numOps
+)
+
+func (o Op) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Mark identifies one lifecycle timestamp within a span.
+type Mark uint8
+
+// Lifecycle marks in path order.
+const (
+	MarkStart       Mark = iota // host driver accepted the I/O
+	MarkDoorbell                // SQ tail doorbell rung
+	MarkDispatch                // engine front end picked the SQE up
+	MarkMapped                  // LBA mapping + QoS admission + PRP rewrite done
+	MarkBackendDone             // last backend sub-completion joined
+	MarkCQE                     // host reaped the CQE (MSI path)
+	MarkFinish                  // driver returned to the caller
+	numMarks
+)
+
+// Stage identifies one latency bucket of the breakdown.
+type Stage uint8
+
+// Breakdown stages. Full-path (BM-Store) spans record submit, frontend,
+// map, backend, complete and reap; direct-attached spans record submit,
+// device and reap. The NAND stage is informational: it is a sub-interval
+// of backend (or device), not a partition member.
+const (
+	StageSubmit   Stage = iota // start -> doorbell: kernel submit path
+	StageFrontend              // doorbell -> dispatch: wire + SQE fetch
+	StageMap                   // dispatch -> mapped: mapping, QoS, PRP rewrite
+	StageBackend               // mapped -> backend done: forward + SSD + join
+	StageComplete              // backend done -> CQE reap: CQE writeback + MSI
+	StageDevice                // doorbell -> CQE reap on direct-attached rigs
+	StageReap                  // CQE reap -> return: completion-path kernel cost
+	NumStages
+)
+
+// String returns the stage's breakdown-table label.
+func (s Stage) String() string {
+	switch s {
+	case StageSubmit:
+		return "submit"
+	case StageFrontend:
+		return "frontend"
+	case StageMap:
+		return "map+qos"
+	case StageBackend:
+		return "backend"
+	case StageComplete:
+		return "complete"
+	case StageDevice:
+		return "device"
+	case StageReap:
+		return "reap"
+	}
+	return "?"
+}
+
+// SpanKey builds the host-domain span key from an I/O's NVMe identity.
+func SpanKey(fn uint8, qid, cid uint16) uint64 {
+	return uint64(fn)<<32 | uint64(qid)<<16 | uint64(cid)
+}
+
+// DevKey builds the device-domain alias key from the SSD serial and the
+// backend-side queue/CID pair. The serial is folded with FNV-1a so distinct
+// devices land in distinct key ranges; aliases live in their own map, so
+// the host and device domains can never collide with each other.
+func DevKey(serial string, qid, cid uint16) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(serial); i++ {
+		h = (h ^ uint64(serial[i])) * 1099511628211
+	}
+	return h<<32 ^ uint64(qid)<<16 ^ uint64(cid)
+}
+
+// span is one in-flight request's lifecycle record.
+type span struct {
+	op      Op
+	set     uint16
+	ts      [numMarks]int64
+	media   int64
+	aliases []uint64
+}
+
+// spanTable is the registry's span state: live spans by host key, alias
+// entries by device key, recycled span records, and the folded stage
+// histograms.
+type spanTable struct {
+	live  map[uint64]*span
+	alias map[uint64]*span
+	free  []*span
+
+	stage    [numOps][NumStages]stats.Hist
+	e2e      [numOps]stats.Hist
+	media    [numOps]stats.Hist
+	finished [numOps]uint64
+
+	collisions uint64 // SpanStart over a still-live key (key reuse)
+	dropped    uint64 // finishes without a span, or with partial marks
+}
+
+func (t *spanTable) init() {
+	t.live = make(map[uint64]*span)
+	t.alias = make(map[uint64]*span)
+}
+
+// SpanStart opens a span for the I/O identified by key at virtual time t.
+// If the key is already live (possible on multi-driver direct rigs, where
+// every driver shares function 0), the old span is abandoned and counted as
+// a collision.
+func (r *Registry) SpanStart(key uint64, op Op, t int64) {
+	if r == nil {
+		return
+	}
+	tb := &r.spans
+	if old, ok := tb.live[key]; ok {
+		tb.collisions++
+		tb.unalias(old)
+		tb.recycle(old)
+	}
+	sp := tb.get()
+	sp.op = op
+	sp.set = 1 << MarkStart
+	sp.ts[MarkStart] = t
+	tb.live[key] = sp
+}
+
+// SpanMark records one lifecycle timestamp. Unknown keys are ignored (an
+// admin command, a flush, or a span lost to a collision).
+func (r *Registry) SpanMark(key uint64, m Mark, t int64) {
+	if r == nil {
+		return
+	}
+	if sp, ok := r.spans.live[key]; ok {
+		sp.ts[m] = t
+		sp.set |= 1 << m
+	}
+}
+
+// SpanAlias links a device-domain key to the span, so a component that only
+// sees the backend identity (the SSD) can attribute time to it.
+func (r *Registry) SpanAlias(key, alias uint64) {
+	if r == nil {
+		return
+	}
+	if sp, ok := r.spans.live[key]; ok {
+		r.spans.alias[alias] = sp
+		sp.aliases = append(sp.aliases, alias)
+	}
+}
+
+// SpanMedia attributes d nanoseconds of NAND/media time to the span behind
+// the device-domain alias. Sub-commands of one I/O run their media phases
+// in parallel, so the span keeps the maximum.
+func (r *Registry) SpanMedia(alias uint64, d int64) {
+	if r == nil {
+		return
+	}
+	if sp, ok := r.spans.alias[alias]; ok {
+		if d > sp.media {
+			sp.media = d
+		}
+	}
+}
+
+// SpanFinish closes the span at virtual time t and folds its stages into
+// the breakdown histograms.
+func (r *Registry) SpanFinish(key uint64, t int64) {
+	if r == nil {
+		return
+	}
+	tb := &r.spans
+	sp, ok := tb.live[key]
+	if !ok {
+		tb.dropped++
+		return
+	}
+	delete(tb.live, key)
+	tb.unalias(sp)
+	sp.ts[MarkFinish] = t
+	sp.set |= 1 << MarkFinish
+	tb.fold(sp)
+	tb.recycle(sp)
+}
+
+// has reports whether every mark in mask was recorded.
+func (sp *span) has(marks ...Mark) bool {
+	for _, m := range marks {
+		if sp.set&(1<<m) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fold classifies the span and records its stage intervals.
+func (t *spanTable) fold(sp *span) {
+	op := sp.op
+	if op >= numOps || !sp.has(MarkStart, MarkDoorbell, MarkCQE, MarkFinish) {
+		t.dropped++
+		return
+	}
+	rec := func(st Stage, from, to Mark) {
+		t.stage[op][st].Record(sp.ts[to] - sp.ts[from])
+	}
+	switch {
+	case sp.has(MarkDispatch, MarkMapped, MarkBackendDone):
+		rec(StageSubmit, MarkStart, MarkDoorbell)
+		rec(StageFrontend, MarkDoorbell, MarkDispatch)
+		rec(StageMap, MarkDispatch, MarkMapped)
+		rec(StageBackend, MarkMapped, MarkBackendDone)
+		rec(StageComplete, MarkBackendDone, MarkCQE)
+		rec(StageReap, MarkCQE, MarkFinish)
+	case !sp.has(MarkDispatch):
+		rec(StageSubmit, MarkStart, MarkDoorbell)
+		rec(StageDevice, MarkDoorbell, MarkCQE)
+		rec(StageReap, MarkCQE, MarkFinish)
+	default:
+		// Engine saw the command but the pipeline bailed (error path):
+		// stage attribution would be misleading, so only count the drop.
+		t.dropped++
+		return
+	}
+	t.e2e[op].Record(sp.ts[MarkFinish] - sp.ts[MarkStart])
+	if sp.media > 0 {
+		t.media[op].Record(sp.media)
+	}
+	t.finished[op]++
+}
+
+func (t *spanTable) unalias(sp *span) {
+	for _, ak := range sp.aliases {
+		if t.alias[ak] == sp {
+			delete(t.alias, ak)
+		}
+	}
+}
+
+func (t *spanTable) get() *span {
+	if n := len(t.free); n > 0 {
+		sp := t.free[n-1]
+		t.free = t.free[:n-1]
+		return sp
+	}
+	return &span{}
+}
+
+func (t *spanTable) recycle(sp *span) {
+	aliases := sp.aliases[:0]
+	*sp = span{aliases: aliases}
+	t.free = append(t.free, sp)
+}
+
+// mergeSpans folds this table's aggregate histograms into agg (used by Set
+// to build a cross-rig breakdown).
+func (t *spanTable) mergeInto(agg *SpanAgg) {
+	for op := Op(0); op < numOps; op++ {
+		for st := Stage(0); st < NumStages; st++ {
+			agg.Stage[op][st].Merge(&t.stage[op][st])
+		}
+		agg.E2E[op].Merge(&t.e2e[op])
+		agg.Media[op].Merge(&t.media[op])
+		agg.Finished[op] += t.finished[op]
+	}
+	agg.Collisions += t.collisions
+	agg.Dropped += t.dropped
+	agg.Live += uint64(len(t.live))
+}
+
+// SpanAgg is the merged breakdown state of one or more registries.
+type SpanAgg struct {
+	Stage    [numOps][NumStages]stats.Hist
+	E2E      [numOps]stats.Hist
+	Media    [numOps]stats.Hist
+	Finished [numOps]uint64
+
+	Collisions uint64
+	Dropped    uint64
+	Live       uint64
+}
+
+// SpanAggregate returns the registry's breakdown state as a standalone
+// aggregate (a copy; safe to merge further).
+func (r *Registry) SpanAggregate() *SpanAgg {
+	agg := &SpanAgg{}
+	if r != nil {
+		r.spans.mergeInto(agg)
+	}
+	return agg
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"bmstore/internal/hostmem"
+	"bmstore/internal/obs"
 	"bmstore/internal/sim"
 )
 
@@ -57,6 +58,11 @@ type Link struct {
 	toDev   *sim.Pacer // traffic flowing downstream (root -> device)
 	Latency sim.Time
 	lanes   int
+
+	// Per-direction wire-byte counters (nil-safe no-ops when metrics are
+	// off); every reservation accounts its TLP framing too.
+	mUp   *obs.Counter
+	mDown *obs.Counter
 }
 
 // NewLink returns a Gen3 link with the given lane count.
@@ -65,13 +71,19 @@ func NewLink(env *sim.Env, lanes int, latency sim.Time) *Link {
 		panic("pcie: link needs at least one lane")
 	}
 	bw := float64(lanes) * LaneBytesPerSec
-	return &Link{
+	l := &Link{
 		env:     env,
 		toHost:  sim.NewPacer(env, bw),
 		toDev:   sim.NewPacer(env, bw),
 		Latency: latency,
 		lanes:   lanes,
 	}
+	if met := env.Metrics(); met != nil {
+		comp := met.Instance("pcie/link")
+		l.mUp = comp.RateCounter("up_bytes")
+		l.mDown = comp.RateCounter("down_bytes")
+	}
+	return l
 }
 
 // Lanes returns the configured lane count.
@@ -141,6 +153,7 @@ func (pt *Port) MMIOWrite(fn FuncID, offset uint64, val uint64) {
 	if pt.dev == nil {
 		panic("pcie: MMIO write to port with no device")
 	}
+	pt.link.mDown.AddAt(int64(pt.env.Now()), uint64(WireBytes(4)))
 	done := pt.link.toDev.Reserve(WireBytes(4))
 	delay := done - pt.env.Now() + pt.link.Latency
 	pt.env.Schedule(delay, func() { pt.dev.RegWrite(fn, offset, val) })
@@ -154,6 +167,7 @@ func (pt *Port) VDMToDevice(pkt []byte) {
 		panic(fmt.Sprintf("pcie: device %T does not accept VDMs", pt.dev))
 	}
 	cp := append([]byte(nil), pkt...)
+	pt.link.mDown.AddAt(int64(pt.env.Now()), uint64(WireBytes(len(cp))))
 	done := pt.link.toDev.Reserve(WireBytes(len(cp)))
 	delay := done - pt.env.Now() + pt.link.Latency
 	pt.env.Schedule(delay, func() { h.VDMReceive(cp) })
@@ -165,6 +179,7 @@ func (pt *Port) VDMToDevice(pkt []byte) {
 // upstream direction, then the upstream target's own path, and returns the
 // completion time of the whole transaction.
 func (pt *Port) DMAWrite(addr uint64, n int, data []byte) sim.Time {
+	pt.link.mUp.AddAt(int64(pt.env.Now()), uint64(WireBytes(n)))
 	wire := pt.link.toHost.Reserve(WireBytes(n))
 	up := pt.upstream.DMAWrite(addr, n, data)
 	return maxTime(wire, up) + pt.link.Latency
@@ -175,6 +190,7 @@ func (pt *Port) DMAWrite(addr uint64, n int, data []byte) sim.Time {
 // direction of this link.
 func (pt *Port) DMARead(addr uint64, n int, buf []byte) sim.Time {
 	up := pt.upstream.DMARead(addr, n, buf)
+	pt.link.mDown.AddAt(int64(pt.env.Now()), uint64(WireBytes(n)))
 	wire := pt.link.toDev.Reserve(WireBytes(n))
 	// Request travels up (one latency), data comes back down (another).
 	return maxTime(wire, up) + 2*pt.link.Latency
@@ -186,6 +202,7 @@ func (pt *Port) RaiseIRQ(fn FuncID, vector int) {
 	if pt.irq == nil {
 		return
 	}
+	pt.link.mUp.AddAt(int64(pt.env.Now()), uint64(WireBytes(4)))
 	done := pt.link.toHost.Reserve(WireBytes(4))
 	delay := done - pt.env.Now() + pt.link.Latency
 	pt.env.Schedule(delay, func() { pt.irq(fn, vector) })
@@ -197,6 +214,7 @@ func (pt *Port) VDMToHost(pkt []byte) {
 		panic("pcie: upstream side accepts no VDMs")
 	}
 	cp := append([]byte(nil), pkt...)
+	pt.link.mUp.AddAt(int64(pt.env.Now()), uint64(WireBytes(len(cp))))
 	done := pt.link.toHost.Reserve(WireBytes(len(cp)))
 	delay := done - pt.env.Now() + pt.link.Latency
 	pt.env.Schedule(delay, func() { pt.vdmUp(cp) })

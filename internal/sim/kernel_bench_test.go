@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"bmstore/internal/obs"
+)
 
 // BenchmarkSchedulerThroughput measures the raw per-event cost of the
 // scheduler's hot loop: Schedule -> queue -> fire, with no processes
@@ -30,6 +34,40 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	b.StopTimer()
 	if fired != scheduled {
 		b.Fatalf("fired %d of %d scheduled events", fired, scheduled)
+	}
+}
+
+// BenchmarkSchedulerMetricsOnThroughput is BenchmarkSchedulerThroughput with
+// a metrics registry attached: the kernel's counters are plain scalar
+// increments cached at SetMetrics time, so enabling observability must keep
+// the fire loop allocation-free. Guarded by the same bench-gate baseline.
+func BenchmarkSchedulerMetricsOnThroughput(b *testing.B) {
+	const chains = 64
+	env := NewEnv(1)
+	env.SetMetrics(obs.New(obs.Options{}))
+	fired := 0
+	scheduled := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if scheduled < b.N {
+			scheduled++
+			env.Schedule(100*Nanosecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < chains && scheduled < b.N; i++ {
+		scheduled++
+		env.Schedule(Time(i), tick)
+	}
+	env.Run()
+	b.StopTimer()
+	if fired != scheduled {
+		b.Fatalf("fired %d of %d scheduled events", fired, scheduled)
+	}
+	if got := env.Metrics().Component("sim").Counter("events_fired").Value(); got != uint64(fired) {
+		b.Fatalf("events_fired counter %d, fired %d", got, fired)
 	}
 }
 

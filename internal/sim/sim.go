@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bmstore/internal/obs"
 	"bmstore/internal/trace"
 )
 
@@ -51,6 +52,15 @@ type Env struct {
 	procSeq uint64
 	tracer  *trace.Tracer
 
+	// met is the metrics registry; the kernel counters below are cached
+	// instrument pointers (nil when metrics are off, making each
+	// observation point a single nil check — obs instruments are
+	// nil-receiver-safe, the same zero-overhead discipline as the tracer).
+	met      *obs.Registry
+	cEvents  *obs.Counter
+	cSpawns  *obs.Counter
+	cResumes *obs.Counter
+
 	// evFree recycles kernel-internal one-shot events (Sleep timers,
 	// process-start events). Only events the kernel itself created and that
 	// never escape to user code are pooled; see pooledEvent.
@@ -79,6 +89,23 @@ func (e *Env) SetTracer(tr *trace.Tracer) { e.tracer = tr }
 
 // Tracer returns the attached tracer, or nil when tracing is off.
 func (e *Env) Tracer() *trace.Tracer { return e.tracer }
+
+// SetMetrics attaches a metrics registry to the environment. Like the
+// tracer, model components cache the pointer (or instruments created from
+// it) at construction, so attach the registry before building anything on
+// the environment. Metrics are strictly passive — the registry never
+// schedules events — so attaching one cannot change simulated behaviour or
+// trace digests. Pass nil to detach.
+func (e *Env) SetMetrics(m *obs.Registry) {
+	e.met = m
+	kernel := m.Component("sim") // nil registry -> nil component -> nil counters
+	e.cEvents = kernel.Counter("events_fired")
+	e.cSpawns = kernel.Counter("procs_spawned")
+	e.cResumes = kernel.Counter("proc_resumes")
+}
+
+// Metrics returns the attached registry, or nil when metrics are off.
+func (e *Env) Metrics() *obs.Registry { return e.met }
 
 // scheduled is an entry in the event queue. Exactly one of fn and ev is set:
 // fn is the Schedule fast path (a bare callback with no Event allocated),
@@ -218,6 +245,7 @@ func (e *Env) run(limit Time, until *Event) Time {
 			panic("sim: event queue went backwards")
 		}
 		e.now = it.at
+		e.cEvents.Inc()
 		if e.tracer != nil {
 			e.tracer.Emit(e.now, "sim", "fire", it.seq, 0, "")
 		}
@@ -289,6 +317,7 @@ type resumeMsg struct {
 
 // resume hands control to process p and blocks until it yields back.
 func (e *Env) resume(p *Proc, m resumeMsg) {
+	e.cResumes.Inc()
 	if e.tracer != nil && !m.abort {
 		e.tracer.Emit(e.now, "sim", "resume", p.id, 0, p.name)
 	}
@@ -340,6 +369,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		doneEv: e.NewEvent(),
 	}
 	e.live[p] = struct{}{}
+	e.cSpawns.Inc()
 	if e.tracer != nil {
 		e.tracer.Emit(e.now, "sim", "spawn", p.id, 0, name)
 	}

@@ -4,11 +4,14 @@ import (
 	"encoding/binary"
 
 	"bmstore/internal/nvme"
+	"bmstore/internal/obs"
 	"bmstore/internal/sim"
 )
 
 // execIO handles one NVM command from an I/O queue and returns its status.
-func (d *SSD) execIO(p *sim.Proc, cmd nvme.Command) nvme.Status {
+// sqID is the submission queue the command arrived on; with the CID it forms
+// the device-domain span alias the engine backend may have registered.
+func (d *SSD) execIO(p *sim.Proc, sqID uint16, cmd nvme.Command) nvme.Status {
 	if d.resetting {
 		return nvme.StatusNSNotReady
 	}
@@ -49,12 +52,21 @@ func (d *SSD) execIO(p *sim.Proc, cmd nvme.Command) nvme.Status {
 	if d.tr != nil {
 		d.tr.Emit(start, "ssd", "issue", uint64(cmd.Opcode)<<56|devByte, uint64(n), d.cfg.Serial)
 	}
+	var media sim.Time
 	if cmd.Opcode == nvme.IORead {
-		d.doRead(p, devByte, segs, n)
+		media = d.doRead(p, devByte, segs, n)
 		d.ReadStats.Record(n, p.Now()-start)
+		d.mReadOps.Inc()
+		d.mReadBytes.AddAt(int64(p.Now()), uint64(n))
 	} else {
-		d.doWrite(p, devByte, segs, n)
+		media = d.doWrite(p, devByte, segs, n)
 		d.WriteStats.Record(n, p.Now()-start)
+		d.mWriteOps.Inc()
+		d.mWriteBytes.AddAt(int64(p.Now()), uint64(n))
+	}
+	if d.met != nil && media > 0 {
+		d.mMedia.Record(int64(media))
+		d.met.SpanMedia(obs.DevKey(d.cfg.Serial, sqID, cmd.CID), int64(media))
 	}
 	if d.tr != nil {
 		d.tr.Emit(p.Now(), "ssd", "complete", uint64(cmd.Opcode)<<56|devByte, uint64(p.Now()-start), d.cfg.Serial)
@@ -62,12 +74,16 @@ func (d *SSD) execIO(p *sim.Proc, cmd nvme.Command) nvme.Status {
 	return nvme.StatusSuccess
 }
 
-// doRead performs the media read and DMA-writes the data upstream.
-func (d *SSD) doRead(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) {
+// doRead performs the media read and DMA-writes the data upstream. It
+// returns the media phase's duration (NAND array + internal read bus, or the
+// pluggable medium's service time) for span attribution.
+func (d *SSD) doRead(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) sim.Time {
+	t0 := p.Now()
 	if d.cfg.Media != nil {
 		d.cfg.Media.Read(p, devByte, n)
+		media := p.Now() - t0
 		d.dmaOut(p, devByte, segs)
-		return
+		return media
 	}
 	stripes := (n + d.cfg.StripeBytes - 1) / d.cfg.StripeBytes
 	if stripes == 1 {
@@ -89,7 +105,9 @@ func (d *SSD) doRead(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) {
 	// Internal read bus admission: this pacer is what bounds sequential
 	// read bandwidth at the paper's 3.3 GB/s.
 	d.readPacer.Transfer(p, int64(n))
+	media := p.Now() - t0
 	d.dmaOut(p, devByte, segs)
+	return media
 }
 
 // dmaOut pushes the data upstream through the port, per PRP segment.
@@ -113,7 +131,9 @@ func (d *SSD) dmaOut(p *sim.Proc, devByte uint64, segs []nvme.Segment) {
 }
 
 // doWrite fetches the data from upstream and admits it to the write cache.
-func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) {
+// It returns the media phase's duration (cache admission behind the DMA
+// fetch) for span attribution.
+func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) sim.Time {
 	var last sim.Time
 	bufs := make([][]byte, len(segs))
 	for i, seg := range segs {
@@ -128,6 +148,7 @@ func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) {
 	if w := last - p.Now(); w > 0 {
 		p.Sleep(w)
 	}
+	t0 := p.Now()
 	if d.cfg.Media != nil {
 		d.cfg.Media.Write(p, devByte, n)
 	} else {
@@ -136,6 +157,7 @@ func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) {
 		d.writePacer.Transfer(p, int64(n))
 		p.Sleep(d.jitter(d.cfg.WriteCacheLatency))
 	}
+	media := p.Now() - t0
 	if d.cfg.CaptureData {
 		off := 0
 		for _, b := range bufs {
@@ -143,6 +165,7 @@ func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) {
 			off += len(b)
 		}
 	}
+	return media
 }
 
 // prpReader fetches PRP list pages through the SSD's port, caching whole

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"bmstore/internal/nvme"
+	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/stats"
@@ -173,6 +174,15 @@ type SSD struct {
 	// exposed to the BMS-Controller's I/O monitor.
 	ReadStats  stats.IOStats
 	WriteStats stats.IOStats
+
+	// Per-device instruments, cached at construction; all nil-safe no-ops
+	// when the environment has no metrics registry.
+	met         *obs.Registry
+	mMedia      *obs.Hist
+	mReadOps    *obs.Counter
+	mWriteOps   *obs.Counter
+	mReadBytes  *obs.Counter
+	mWriteBytes *obs.Counter
 }
 
 // New returns an unattached SSD. Call Attach to put it on a link.
@@ -195,6 +205,14 @@ func New(env *sim.Env, cfg Config) *SSD {
 		fwActive:   cfg.Firmware,
 		store:      make(map[uint64][]byte),
 		jitterRng:  env.Rand("ssd/jitter/" + cfg.Serial),
+	}
+	if d.met = env.Metrics(); d.met != nil {
+		comp := d.met.Component("ssd/" + cfg.Serial)
+		d.mMedia = comp.Hist("media_ns")
+		d.mReadOps = comp.Counter("read_ops")
+		d.mWriteOps = comp.Counter("write_ops")
+		d.mReadBytes = comp.RateCounter("read_bytes")
+		d.mWriteBytes = comp.RateCounter("write_bytes")
 	}
 	return d
 }
@@ -339,7 +357,7 @@ func (d *SSD) exec(p *sim.Proc, sq *subQueue, cmd nvme.Command, sqHead uint32) {
 	if sq.id == 0 {
 		cpl.DW0, cpl.Status = d.execAdmin(p, cmd)
 	} else {
-		cpl.Status = d.execIO(p, cmd)
+		cpl.Status = d.execIO(p, sq.id, cmd)
 	}
 	d.postCQE(sq.cqid, cpl)
 }

@@ -210,3 +210,66 @@ func TestHistResetThenReuse(t *testing.T) {
 			h.N(), h.Min(), h.Max(), h.Percentile(0.5))
 	}
 }
+
+// Property: merging K shards is indistinguishable from recording every
+// sample into one histogram — same n, sum, min, max, every bucket count, and
+// therefore every percentile. This is the contract the observability layer's
+// cross-rig aggregation (obs.Set) leans on.
+func TestHistMergeEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nShards := 1 + rng.Intn(5)
+		shards := make([]Hist, nShards)
+		var unified Hist
+		nSamples := rng.Intn(400)
+		for i := 0; i < nSamples; i++ {
+			// Spread samples over many octaves, including the tiny exact
+			// range and values past 2^32.
+			v := int64(rng.Uint64() >> uint(1+rng.Intn(60)))
+			shards[rng.Intn(nShards)].Record(v)
+			unified.Record(v)
+		}
+		var merged Hist
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		if merged.n != unified.n || merged.sum != unified.sum ||
+			merged.Min() != unified.Min() || merged.Max() != unified.Max() {
+			t.Fatalf("trial %d: merged (n=%d sum=%d min=%d max=%d) != unified (n=%d sum=%d min=%d max=%d)",
+				trial, merged.n, merged.sum, merged.Min(), merged.Max(),
+				unified.n, unified.sum, unified.Min(), unified.Max())
+		}
+		if merged.counts != unified.counts {
+			t.Fatalf("trial %d: merged bucket counts diverge from unified recording", trial)
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			if merged.Percentile(q) != unified.Percentile(q) {
+				t.Fatalf("trial %d: P%v merged=%d unified=%d",
+					trial, q, merged.Percentile(q), unified.Percentile(q))
+			}
+		}
+	}
+}
+
+// Every bucket index round-trips: bucketLow(i) is the smallest value that
+// maps to bucket i, and its predecessor maps to bucket i-1. This pins the
+// bucket boundaries down exactly, so bucketOf and bucketLow cannot drift
+// apart under refactoring.
+func TestHistBucketRoundTrip(t *testing.T) {
+	nBuckets := len(Hist{}.counts)
+	for i := 0; i < nBuckets; i++ {
+		lo := bucketLow(i)
+		if got := bucketOf(lo); got != i {
+			t.Fatalf("bucketOf(bucketLow(%d)=%d) = %d", i, lo, got)
+		}
+		if i > 0 {
+			if got := bucketOf(lo - 1); got != i-1 {
+				t.Fatalf("bucketOf(bucketLow(%d)-1=%d) = %d, want %d", i, lo-1, got, i-1)
+			}
+		}
+	}
+	// Values beyond the last bucket boundary clamp into the final bucket.
+	if got := bucketOf(bucketLow(nBuckets-1) * 4); got != nBuckets-1 {
+		t.Fatalf("overflow value maps to bucket %d, want %d", got, nBuckets-1)
+	}
+}

@@ -80,9 +80,10 @@ func TestDeterminismBMStoreRig(t *testing.T) {
 	t.Logf("bmstore rig digest: %s", d)
 }
 
-func TestDeterminismDirectRig(t *testing.T) {
-	s := bmstore.Scenario{
-		Config: smallCfg(42, 1),
+// directBody runs a read workload on the direct-attached (no BM-Store) rig.
+func directBody(seed int64) bmstore.Scenario {
+	return bmstore.Scenario{
+		Config: smallCfg(seed, 1),
 		Direct: true,
 		Body: func(tb *bmstore.Testbed, p *sim.Proc) {
 			drv, err := tb.AttachNative(p, 0, host.DefaultDriverConfig())
@@ -95,11 +96,15 @@ func TestDeterminismDirectRig(t *testing.T) {
 			})
 		},
 	}
-	t.Logf("direct rig digest: %s", mustCheck(t, s))
 }
 
-func TestDeterminismHotUpgrade(t *testing.T) {
-	s := bmstore.Scenario{
+func TestDeterminismDirectRig(t *testing.T) {
+	t.Logf("direct rig digest: %s", mustCheck(t, directBody(42)))
+}
+
+// hotUpgradeBody exercises the firmware hot-upgrade path under tenant I/O.
+func hotUpgradeBody() bmstore.Scenario {
+	return bmstore.Scenario{
 		Config: smallCfg(7, 1),
 		Body: func(tb *bmstore.Testbed, p *sim.Proc) {
 			if err := tb.Console.CreateNamespace(p, "vol", 32<<20, []int{0}); err != nil {
@@ -130,11 +135,15 @@ func TestDeterminismHotUpgrade(t *testing.T) {
 			stop.Trigger(nil)
 		},
 	}
-	t.Logf("hot-upgrade digest: %s", mustCheck(t, s))
 }
 
-func TestDeterminismHotPlug(t *testing.T) {
-	s := bmstore.Scenario{
+func TestDeterminismHotUpgrade(t *testing.T) {
+	t.Logf("hot-upgrade digest: %s", mustCheck(t, hotUpgradeBody()))
+}
+
+// hotPlugBody exercises the drive-replacement path around live data.
+func hotPlugBody() bmstore.Scenario {
+	return bmstore.Scenario{
 		Config: smallCfg(11, 2),
 		Body: func(tb *bmstore.Testbed, p *sim.Proc) {
 			if err := tb.Console.CreateNamespace(p, "vol", 32<<20, []int{1}); err != nil {
@@ -166,11 +175,15 @@ func TestDeterminismHotPlug(t *testing.T) {
 			}
 		},
 	}
-	t.Logf("hot-plug digest: %s", mustCheck(t, s))
 }
 
-func TestDeterminismMultiTenantQoS(t *testing.T) {
-	s := bmstore.Scenario{
+func TestDeterminismHotPlug(t *testing.T) {
+	t.Logf("hot-plug digest: %s", mustCheck(t, hotPlugBody()))
+}
+
+// qosBody runs two capped tenants so the QoS park/dispatch path is covered.
+func qosBody() bmstore.Scenario {
+	return bmstore.Scenario{
 		Config: smallCfg(23, 2),
 		Body: func(tb *bmstore.Testbed, p *sim.Proc) {
 			for i, name := range []string{"tenA", "tenB"} {
@@ -210,7 +223,10 @@ func TestDeterminismMultiTenantQoS(t *testing.T) {
 			}
 		},
 	}
-	t.Logf("multi-tenant QoS digest: %s", mustCheck(t, s))
+}
+
+func TestDeterminismMultiTenantQoS(t *testing.T) {
+	t.Logf("multi-tenant QoS digest: %s", mustCheck(t, qosBody()))
 }
 
 // Different seeds must visibly diverge: the digest is only a determinism

@@ -47,11 +47,12 @@ type Options struct {
 // concurrent use; the simulation kernel's run-to-completion handoff
 // guarantees single-threaded access.
 type Tracer struct {
-	h   uint64    // streaming word-folded FNV-64 state
-	sha hash.Hash // non-nil in SHA-256 mode
-	n   uint64    // events folded in
-	w   *bufio.Writer
-	buf [8]byte // scratch for SHA-256 number writes
+	h    uint64    // streaming word-folded FNV-64 state
+	sha  hash.Hash // non-nil in SHA-256 mode
+	n    uint64    // events folded in
+	w    *bufio.Writer
+	werr error   // first dump-write error, surfaced by Flush
+	buf  [8]byte // scratch for SHA-256 number writes
 }
 
 // New returns a tracer with the given options.
@@ -97,7 +98,9 @@ func (t *Tracer) Emit(at int64, subsys, kind string, a, b uint64, detail string)
 		t.shaString(detail)
 	}
 	if t.w != nil {
-		fmt.Fprintf(t.w, "%12d %-6s %-12s a=%#x b=%#x %s\n", at, subsys, kind, a, b, detail)
+		if _, err := fmt.Fprintf(t.w, "%12d %-6s %-12s a=%#x b=%#x %s\n", at, subsys, kind, a, b, detail); err != nil && t.werr == nil {
+			t.werr = err
+		}
 	}
 }
 
@@ -153,10 +156,16 @@ func (t *Tracer) Digest() string {
 	return fmt.Sprintf("fnv64w:%016x", t.h)
 }
 
-// Flush drains the dump writer, if any.
+// Flush drains the dump writer, if any. It returns the first error the dump
+// destination reported — including write errors swallowed by the buffered
+// emit path — so a truncated dump cannot pass silently.
 func (t *Tracer) Flush() error {
 	if t.w == nil {
 		return nil
 	}
-	return t.w.Flush()
+	err := t.w.Flush()
+	if t.werr != nil {
+		return t.werr
+	}
+	return err
 }

@@ -121,6 +121,57 @@ func TestDumpOutput(t *testing.T) {
 	}
 }
 
+// failWriter fails every write after the first n bytes have been accepted.
+type failWriter struct {
+	room int
+	err  error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) <= w.room {
+		w.room -= len(p)
+		return len(p), nil
+	}
+	n := w.room
+	w.room = 0
+	return n, w.err
+}
+
+func TestFlushSurfacesDumpWriteErrors(t *testing.T) {
+	wantErr := errMock("disk full")
+
+	// Error during Flush itself: the buffered bytes don't fit.
+	tr := New(Options{Dump: &failWriter{room: 0, err: wantErr}})
+	tr.Emit(1, "sim", "fire", 0, 0, "")
+	if err := tr.Flush(); err != wantErr {
+		t.Fatalf("Flush returned %v, want %v", err, wantErr)
+	}
+
+	// Error during Emit (bufio spills mid-stream once the buffer fills):
+	// Flush must still report it even though the final flush "succeeds"
+	// against the now-zero-room writer.
+	fw := &failWriter{room: 16, err: wantErr}
+	tr = New(Options{Dump: fw})
+	for i := 0; i < 200; i++ { // > bufio default 4096 bytes of dump lines
+		tr.Emit(int64(i), "engine", "dispatch", uint64(i), 42, "spilling")
+	}
+	if err := tr.Flush(); err != wantErr {
+		t.Fatalf("Flush returned %v, want the emit-path write error %v", err, wantErr)
+	}
+
+	// A healthy writer still flushes clean.
+	var sb strings.Builder
+	tr = New(Options{Dump: &sb})
+	tr.Emit(1, "sim", "fire", 0, 0, "")
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("clean flush returned %v", err)
+	}
+}
+
+type errMock string
+
+func (e errMock) Error() string { return string(e) }
+
 // BenchmarkEmit prices the digest fast path per event: a representative mix
 // of numeric words and short strings, as the scheduler hooks emit it.
 func BenchmarkEmit(b *testing.B) {
