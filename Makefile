@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-runner lint determinism bench-smoke bench-gate flaky
+.PHONY: all build test race race-runner lint determinism fault-smoke bench-smoke bench-gate flaky
 
 all: build test
 
@@ -32,6 +32,12 @@ lint:
 # asserting bit-identical trace digests (see internal/trace/replay_test.go).
 determinism:
 	$(GO) test -run Determinism -count=1 ./...
+
+# Fault-injection smoke: a faulted fiosim run must complete (the driver's
+# timeout/retry recovery absorbs the injections), count them, and stay
+# byte-identical between serial and parallel execution.
+fault-smoke:
+	sh scripts/fault_smoke.sh
 
 # One iteration of every benchmark — catches bit-rot in benchmark code and
 # gives a cheap overhead spot-check without a full measurement run.

@@ -8,7 +8,8 @@
 //
 // Quick start:
 //
-//	tb := bmstore.NewBMStoreTestbed(bmstore.DefaultConfig())
+//	tb, err := bmstore.NewBMStoreTestbed(bmstore.DefaultConfig())
+//	if err != nil { ... }
 //	tb.Run(func(p *sim.Proc) {
 //	    tb.Console.CreateNamespace(p, "vol0", 256<<30, []int{0})
 //	    tb.Console.Bind(p, "vol0", 5)
@@ -22,6 +23,7 @@ import (
 
 	"bmstore/internal/controller"
 	"bmstore/internal/engine"
+	"bmstore/internal/fault"
 	"bmstore/internal/host"
 	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
@@ -71,6 +73,34 @@ type Config struct {
 	// means zero overhead. Metrics are passive observers: attaching a
 	// registry never changes simulated behaviour or trace digests.
 	Metrics *obs.Registry
+
+	// Faults is the declarative fault schedule of the rig (see
+	// internal/fault). A per-rig injector is built from these rules and
+	// attached to the environment before any component, so the SSDs, links,
+	// MCTP endpoints and engine backends cache it at construction. Rules are
+	// plain values: the same slice can seed any number of rigs (each gets
+	// its own injector state), which keeps determinism sweeps and parallel
+	// runs independent. Empty means no injection and zero overhead. The
+	// live injector is reachable afterwards via tb.Env.Faults().
+	Faults []fault.Rule
+}
+
+// Validate checks the configuration for the mistakes that otherwise
+// surface as panics deep inside component constructors. Both testbed
+// constructors call it; it is exported so sweep drivers can fail fast
+// before spawning workers.
+func (c *Config) Validate() error {
+	if c.NumSSDs <= 0 {
+		return fmt.Errorf("bmstore: config needs NumSSDs >= 1, got %d", c.NumSSDs)
+	}
+	if c.HostLinkLanes <= 0 || c.SSDLinkLanes <= 0 {
+		return fmt.Errorf("bmstore: config needs positive link lane counts, got host=%d ssd=%d",
+			c.HostLinkLanes, c.SSDLinkLanes)
+	}
+	if c.Kernel == (host.KernelProfile{}) {
+		return fmt.Errorf("bmstore: config needs a kernel profile (e.g. host.CentOS)")
+	}
+	return nil
 }
 
 // DefaultConfig mirrors the paper's testbed (Table III): CentOS 7 with the
@@ -121,10 +151,11 @@ func (c *Config) ssdConfig(env *sim.Env, i int) ssd.Config {
 	return sc
 }
 
-// NewBMStoreTestbed builds host -> BMS-Engine -> SSDs with the
-// BMS-Controller and a remote console on the out-of-band path, and runs
-// the engine's backend bring-up to completion.
-func NewBMStoreTestbed(cfg Config) *Testbed {
+// newEnv builds the simulation environment shared by both testbed
+// constructors: the observers (tracer, metrics, fault injector) must be
+// attached before any component is constructed, because components cache
+// those pointers at build time.
+func newEnv(cfg Config) *sim.Env {
 	env := sim.NewEnv(cfg.Seed)
 	if cfg.Tracer != nil {
 		env.SetTracer(cfg.Tracer)
@@ -132,6 +163,30 @@ func NewBMStoreTestbed(cfg Config) *Testbed {
 	if cfg.Metrics != nil {
 		env.SetMetrics(cfg.Metrics)
 	}
+	if len(cfg.Faults) > 0 {
+		env.SetFaults(fault.New(cfg.Faults...))
+	}
+	return env
+}
+
+// newSSDLink builds one downstream (engine/host -> SSD) link, named so
+// fault rules can target it.
+func newSSDLink(env *sim.Env, lanes int, name string) *pcie.Link {
+	l := pcie.NewLink(env, lanes, 300*sim.Nanosecond)
+	l.Name = name
+	return l
+}
+
+// NewBMStoreTestbed builds host -> BMS-Engine -> SSDs with the
+// BMS-Controller and a remote console on the out-of-band path, and runs
+// the engine's backend bring-up to completion. Construction fails if the
+// configuration is invalid or backend bring-up errors (which injected
+// faults can now force).
+func NewBMStoreTestbed(cfg Config) (*Testbed, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env := newEnv(cfg)
 	h := host.New(env, cfg.MemSize, cfg.Kernel)
 	eng := engine.New(env, cfg.Engine)
 
@@ -141,6 +196,7 @@ func NewBMStoreTestbed(cfg Config) *Testbed {
 	// ways with BMCLatency.
 	var console *controller.Console
 	hostLink := pcie.NewLink(env, cfg.HostLinkLanes, 250*sim.Nanosecond)
+	hostLink.Name = "host"
 	port := h.Connect(hostLink, eng, func(raw []byte) {
 		env.Schedule(cfg.BMCLatency, func() { console.Receive(raw) })
 	})
@@ -149,7 +205,7 @@ func NewBMStoreTestbed(cfg Config) *Testbed {
 
 	for i := 0; i < cfg.NumSSDs; i++ {
 		dev := ssd.New(env, cfg.ssdConfig(env, i))
-		eng.AttachBackend(dev, pcie.NewLink(env, cfg.SSDLinkLanes, 300*sim.Nanosecond))
+		eng.AttachBackend(dev, newSSDLink(env, cfg.SSDLinkLanes, fmt.Sprintf("ssd%d", i)))
 		tb.SSDs = append(tb.SSDs, dev)
 	}
 
@@ -163,32 +219,28 @@ func NewBMStoreTestbed(cfg Config) *Testbed {
 	boot := env.Go("bmstore/start", func(p *sim.Proc) { startErr = eng.Start(p) })
 	env.RunUntilEvent(boot.Done())
 	if startErr != nil {
-		panic(fmt.Sprintf("bmstore: engine start failed: %v", startErr))
+		return nil, fmt.Errorf("bmstore: engine start failed: %w", startErr)
 	}
-	return tb
+	return tb, nil
 }
 
 // NewDirectTestbed builds host -> SSDs with no BM-Store card: the
 // substrate for the native, VFIO and SPDK vhost baselines.
-func NewDirectTestbed(cfg Config) *Testbed {
-	env := sim.NewEnv(cfg.Seed)
-	if cfg.Tracer != nil {
-		env.SetTracer(cfg.Tracer)
+func NewDirectTestbed(cfg Config) (*Testbed, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Metrics != nil {
-		env.SetMetrics(cfg.Metrics)
-	}
+	env := newEnv(cfg)
 	h := host.New(env, cfg.MemSize, cfg.Kernel)
 	tb := &Testbed{Env: env, Host: h, cfg: cfg}
 	for i := 0; i < cfg.NumSSDs; i++ {
 		dev := ssd.New(env, cfg.ssdConfig(env, i))
-		link := pcie.NewLink(env, cfg.SSDLinkLanes, 300*sim.Nanosecond)
-		port := h.Connect(link, dev, nil)
+		port := h.Connect(newSSDLink(env, cfg.SSDLinkLanes, fmt.Sprintf("ssd%d", i)), dev, nil)
 		dev.Attach(port)
 		tb.SSDs = append(tb.SSDs, dev)
 		tb.SSDPorts = append(tb.SSDPorts, port)
 	}
-	return tb
+	return tb, nil
 }
 
 // Run starts fn as a root simulation process, drives the simulation until
@@ -229,12 +281,14 @@ func (tb *Testbed) AttachNative(p *sim.Proc, i int, dcfg host.DriverConfig) (*ho
 	return host.AttachDriver(p, tb.Host, tb.SSDPorts[i], 0, dcfg)
 }
 
-// NewSSD builds an extra SSD on this testbed's environment (hot-plug
-// replacements).
-func (tb *Testbed) NewSSD(serial string) (*ssd.SSD, *pcie.Link) {
-	sc := ssd.P4510(serial)
+// NewSSD builds an extra SSD from sc on this testbed's environment
+// (hot-plug replacements; pass ssd.P4510(serial) for a stock drive, or any
+// other config — including one targeted by fault rules — for a faulty
+// replacement). The testbed's CaptureData policy is applied, matching the
+// drives built at construction. The link is named by the drive's serial
+// for fault targeting.
+func (tb *Testbed) NewSSD(sc ssd.Config) (*ssd.SSD, *pcie.Link) {
 	sc.CaptureData = tb.cfg.CaptureData
 	dev := ssd.New(tb.Env, sc)
-	link := pcie.NewLink(tb.Env, tb.cfg.SSDLinkLanes, 300*sim.Nanosecond)
-	return dev, link
+	return dev, newSSDLink(tb.Env, tb.cfg.SSDLinkLanes, sc.Serial)
 }

@@ -23,7 +23,11 @@ func smallTestbed(t *testing.T, numSSDs int) *Testbed {
 		return c
 	}
 	cfg.CaptureData = true
-	return NewBMStoreTestbed(cfg)
+	tb, err := NewBMStoreTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
 }
 
 func TestOutOfBandProvisioningAndIO(t *testing.T) {
@@ -280,7 +284,7 @@ func TestHotPlugViaConsole(t *testing.T) {
 		if err := tb.Console.HotPlugPrepare(p, 1); err != nil {
 			t.Fatal(err)
 		}
-		newDev, link := tb.NewSSD("REPLACEMENT")
+		newDev, link := tb.NewSSD(ssd.P4510("REPLACEMENT"))
 		if err := tb.Controller.PhysicalSwap(p, 1, newDev, link); err != nil {
 			t.Fatal(err)
 		}
@@ -349,7 +353,10 @@ func TestBMStoreVsNativeLatencyDelta(t *testing.T) {
 			Ramp: sim.Millisecond, Runtime: 20 * sim.Millisecond}
 		var res *fio.Result
 		if bm {
-			tb := NewBMStoreTestbed(cfg)
+			tb, err := NewBMStoreTestbed(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
 			tb.Run(func(p *sim.Proc) {
 				tb.Console.CreateNamespace(p, "v", 256<<30, []int{0})
 				tb.Console.Bind(p, "v", 0)
@@ -361,7 +368,10 @@ func TestBMStoreVsNativeLatencyDelta(t *testing.T) {
 				res = fio.Run(p, devs, spec)
 			})
 		} else {
-			tb := NewDirectTestbed(cfg)
+			tb, err := NewDirectTestbed(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
 			tb.Run(func(p *sim.Proc) {
 				drv, err := tb.AttachNative(p, 0, host.DefaultDriverConfig())
 				if err != nil {

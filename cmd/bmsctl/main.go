@@ -60,7 +60,11 @@ func main() {
 	cfg.NumSSDs = *ssds
 	// Keep the demo's firmware window short.
 	fmt.Printf("# building BM-Store testbed with %d SSDs...\n\n", *ssds)
-	tb := bmstore.NewBMStoreTestbed(cfg)
+	tb, err := bmstore.NewBMStoreTestbed(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmsctl:", err)
+		os.Exit(1)
+	}
 
 	ok := true
 	tb.Run(func(p *sim.Proc) {

@@ -28,6 +28,7 @@ import (
 
 	"bmstore"
 	"bmstore/internal/experiments"
+	"bmstore/internal/fault"
 	"bmstore/internal/fio"
 	"bmstore/internal/host"
 	"bmstore/internal/obs"
@@ -51,6 +52,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a human-readable event trace to this file (- for stdout)")
 	traceDigest := flag.Bool("trace-digest", false, "compute and print each run's determinism digest")
 	traceSHA := flag.Bool("trace-sha256", false, "use SHA-256 for the digest instead of the fast 64-bit digest")
+	faults := flag.String("faults", "", "fault-injection spec, e.g. 'ssd-stall,t=20ms,dur=10ms;media-slow,nth=100,count=-1,dur=2ms' (enables driver timeout/retry recovery)")
 	metricsOn := flag.Bool("metrics", false, "collect metrics and print the per-component summary")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, otherwise JSON; - for stdout)")
 	breakdown := flag.Bool("breakdown", false, "print the per-stage request latency breakdown table")
@@ -80,6 +82,14 @@ func main() {
 		Name: *rw, Pattern: pat, BlockSize: *bs,
 		IODepth: *iodepth, NumJobs: *numjobs,
 		Runtime: sim.Time(runtimeF.Nanoseconds()), Ramp: sim.Time(ramp.Nanoseconds()),
+	}
+	var rules []fault.Rule
+	if *faults != "" {
+		var err error
+		if rules, err = fault.ParseSpec(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	var dump *os.File
@@ -113,17 +123,19 @@ func main() {
 
 	results := make([]*fio.Result, *runs)
 	tracers := make([]*trace.Tracer, *runs)
+	injected := make([]uint64, *runs)
 	start := time.Now()
 	experiments.NewPool(*parallel).Each(*runs, func(i int) {
 		cfg := bmstore.DefaultConfig()
 		cfg.Seed = *seed + int64(i)
 		cfg.NumSSDs = *ssds
+		cfg.Faults = rules
 		if traces != nil {
 			tracers[i] = traces.Tracer(fmt.Sprintf("run%04d", i))
 			cfg.Tracer = tracers[i]
 		}
 		cfg.Metrics = mset.Registry(fmt.Sprintf("run%04d", i))
-		results[i] = runOne(cfg, *scheme, *ssds, spec)
+		results[i], injected[i] = runOne(cfg, *scheme, *ssds, spec)
 	})
 	wall := time.Since(start).Seconds()
 
@@ -131,6 +143,9 @@ func main() {
 		*rw, *scheme, *ssds, *bs, *iodepth, *numjobs)
 	if *runs == 1 {
 		printResult(results[0])
+		if *faults != "" {
+			fmt.Printf("  faults    : %d injected\n", injected[0])
+		}
 		fmt.Fprintf(os.Stderr, "(simulated %v in %.1fs wall)\n", *runtimeF, wall)
 		if tracers[0] != nil {
 			fmt.Printf("  trace     : %d events, digest %s\n", tracers[0].Events(), tracers[0].Digest())
@@ -156,6 +171,13 @@ func main() {
 		mean := sum / float64(*runs)
 		fmt.Printf("  IOPS mean : %.0f  (min %.0f, max %.0f, spread %.1f%%)\n",
 			mean, min, max, (max-min)/mean*100)
+		if *faults != "" {
+			var tot uint64
+			for _, n := range injected {
+				tot += n
+			}
+			fmt.Printf("  faults    : %d injected across %d runs\n", tot, *runs)
+		}
 		fmt.Fprintf(os.Stderr, "(%d runs x %v simulated in %.1fs wall, parallel=%d)\n",
 			*runs, *runtimeF, wall, *parallel)
 	}
@@ -211,17 +233,37 @@ func writeMetrics(mset *obs.Set, path string) error {
 	return mset.WriteJSON(w)
 }
 
+// driverConfig returns the host driver configuration for a run: the
+// default fail-fast driver, or — when faults are armed — one with the
+// recovery machinery (command timeout, abort, bounded retry) enabled, so
+// transient injected faults are absorbed instead of killing the workload.
+func driverConfig(cfg bmstore.Config) host.DriverConfig {
+	dcfg := host.DefaultDriverConfig()
+	if len(cfg.Faults) > 0 {
+		dcfg.CmdTimeout = 5 * sim.Millisecond
+		dcfg.MaxRetries = 8
+		dcfg.RetryBackoff = 200 * sim.Microsecond
+	}
+	return dcfg
+}
+
 // runOne builds the scheme's rig on a private environment and runs spec.
-func runOne(cfg bmstore.Config, scheme string, ssds int, spec fio.Spec) *fio.Result {
+// The second result is the number of faults the rig's injector fired.
+func runOne(cfg bmstore.Config, scheme string, ssds int, spec fio.Spec) (*fio.Result, uint64) {
 	var res *fio.Result
+	var tbEnv *sim.Env
 	switch scheme {
 	case "native", "vfio", "spdk":
 		if scheme == "spdk" {
 			cfg.Kernel = spdkvhost.PolledKernel()
 		}
-		tb := bmstore.NewDirectTestbed(cfg)
+		tb, err := bmstore.NewDirectTestbed(cfg)
+		if err != nil {
+			panic(err)
+		}
+		tbEnv = tb.Env
 		tb.Run(func(p *sim.Proc) {
-			dcfg := host.DefaultDriverConfig()
+			dcfg := driverConfig(cfg)
 			if scheme == "vfio" {
 				vm := host.KVMGuest()
 				dcfg.VM = &vm
@@ -245,7 +287,11 @@ func runOne(cfg bmstore.Config, scheme string, ssds int, spec fio.Spec) *fio.Res
 			res = fio.Run(p, devs, spec)
 		})
 	case "bmstore", "bmstore-vm":
-		tb := bmstore.NewBMStoreTestbed(cfg)
+		tb, err := bmstore.NewBMStoreTestbed(cfg)
+		if err != nil {
+			panic(err)
+		}
+		tbEnv = tb.Env
 		tb.Run(func(p *sim.Proc) {
 			var stripe []int
 			for i := 0; i < ssds; i++ {
@@ -257,7 +303,7 @@ func runOne(cfg bmstore.Config, scheme string, ssds int, spec fio.Spec) *fio.Res
 			if err := tb.Console.Bind(p, "vol0", 0); err != nil {
 				panic(err)
 			}
-			dcfg := host.DefaultDriverConfig()
+			dcfg := driverConfig(cfg)
 			if scheme == "bmstore-vm" {
 				vm := host.KVMGuest()
 				dcfg.VM = &vm
@@ -276,7 +322,11 @@ func runOne(cfg bmstore.Config, scheme string, ssds int, spec fio.Spec) *fio.Res
 		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", scheme)
 		os.Exit(2)
 	}
-	return res
+	var n uint64
+	if flt := tbEnv.Faults(); flt != nil {
+		n = flt.Injected()
+	}
+	return res, n
 }
 
 func printResult(res *fio.Result) {

@@ -28,10 +28,16 @@ func (s Scenario) TraceDigest() (digest string, events uint64) {
 	cfg := s.Config
 	cfg.Tracer = tr
 	var tb *Testbed
+	var err error
 	if s.Direct {
-		tb = NewDirectTestbed(cfg)
+		tb, err = NewDirectTestbed(cfg)
 	} else {
-		tb = NewBMStoreTestbed(cfg)
+		tb, err = NewBMStoreTestbed(cfg)
+	}
+	if err != nil {
+		// A scenario is a fixed, known-good configuration; failing to build
+		// it is a bug in the scenario, not a run-time condition.
+		panic("bmstore: scenario testbed: " + err.Error())
 	}
 	tb.Run(func(p *sim.Proc) { s.Body(tb, p) })
 	return tr.Digest(), tr.Events()

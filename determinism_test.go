@@ -47,7 +47,10 @@ func benchScenario(seed int64) Scenario {
 func runScenario(s Scenario, tr *trace.Tracer) {
 	cfg := s.Config
 	cfg.Tracer = tr
-	tb := NewBMStoreTestbed(cfg)
+	tb, err := NewBMStoreTestbed(cfg)
+	if err != nil {
+		panic(err)
+	}
 	tb.Run(func(p *sim.Proc) { s.Body(tb, p) })
 }
 

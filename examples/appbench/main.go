@@ -21,7 +21,10 @@ func main() {
 	cfg := bmstore.DefaultConfig()
 	cfg.NumSSDs = 2
 	cfg.CaptureData = true // applications store and verify real bytes
-	tb := bmstore.NewBMStoreTestbed(cfg)
+	tb, err := bmstore.NewBMStoreTestbed(cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	tb.Run(func(p *sim.Proc) {
 		// Two virtual disks: one for MySQL-shaped work, one for RocksDB.

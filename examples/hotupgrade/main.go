@@ -23,7 +23,10 @@ func main() {
 		c.FWCommitMin, c.FWCommitMax = 1500*sim.Millisecond, 2000*sim.Millisecond
 		return c
 	}
-	tb := bmstore.NewBMStoreTestbed(cfg)
+	tb, err := bmstore.NewBMStoreTestbed(cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	tb.Run(func(p *sim.Proc) {
 		tb.Console.CreateNamespace(p, "vol0", 256<<30, []int{0})

@@ -17,7 +17,10 @@ import (
 func main() {
 	cfg := bmstore.DefaultConfig()
 	cfg.NumSSDs = 4
-	tb := bmstore.NewBMStoreTestbed(cfg)
+	tb, err := bmstore.NewBMStoreTestbed(cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	const vms = 8
 	results := make([]*fio.Result, vms)

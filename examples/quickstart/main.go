@@ -16,7 +16,10 @@ func main() {
 	// A production-shaped rig: CentOS host, BMS-Engine card, one P4510.
 	cfg := bmstore.DefaultConfig()
 	cfg.NumSSDs = 1
-	tb := bmstore.NewBMStoreTestbed(cfg)
+	tb, err := bmstore.NewBMStoreTestbed(cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	tb.Run(func(p *sim.Proc) {
 		// The cloud operator provisions over MCTP/NVMe-MI — no host access.

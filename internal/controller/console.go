@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"bmstore/internal/fault"
 	"bmstore/internal/mctp"
 	"bmstore/internal/sim"
 )
@@ -32,6 +33,13 @@ func NewConsole(env *sim.Env, ctrlEID uint8, send func(raw []byte)) *Console {
 		pending: make(map[uint16]*sim.Event),
 	}
 	c.ep = mctp.NewEndpoint(ConsoleEID, send)
+	if flt := env.Faults(); flt != nil {
+		// fault.MCTPRx rules targeting "console" eat response packets on the
+		// BMC/operator side, so MI requests time out and surface as errors.
+		c.ep.SetRxFault(func() bool {
+			return flt.Hit(fault.MCTPRx, "console", env.Now()) != nil
+		})
+	}
 	c.ep.SetHandler(func(src uint8, msgType uint8, body []byte) {
 		if msgType != mctp.MsgTypeNVMeMI {
 			return

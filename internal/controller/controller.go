@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"bmstore/internal/engine"
+	"bmstore/internal/fault"
 	"bmstore/internal/mctp"
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
@@ -99,6 +100,13 @@ func New(env *sim.Env, eng *engine.Engine, cfg Config) *Controller {
 	}
 	c.mMI = env.Metrics().Component("bmsc").Counter("mi_cmds")
 	c.ep = mctp.NewEndpoint(cfg.EID, func(raw []byte) { eng.VDMToHost(raw) })
+	if flt := env.Faults(); flt != nil {
+		// fault.MCTPRx rules targeting "controller" eat inbound packets on
+		// the card side of the out-of-band path.
+		c.ep.SetRxFault(func() bool {
+			return flt.Hit(fault.MCTPRx, "controller", env.Now()) != nil
+		})
+	}
 	eng.SetVDMHandler(c.ep.Receive)
 	c.ep.SetHandler(func(src uint8, msgType uint8, body []byte) {
 		if msgType != mctp.MsgTypeNVMeMI {

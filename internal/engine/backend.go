@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
+	"bmstore/internal/fault"
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
@@ -241,8 +243,14 @@ func (b *backend) push(sq *beSQ, cmd nvme.Command) {
 	b.port.MMIOWrite(0, nvme.SQDoorbell(sq.id), uint64(sq.tail))
 }
 
-// adminCmd submits one admin command and blocks until its completion.
+// adminCmd submits one admin command and blocks until its completion. A
+// dead or resetting device would never post the CQE, so the command
+// fails fast with a synthetic not-ready completion instead of hanging the
+// calling process forever.
 func (b *backend) adminCmd(p *sim.Proc, cmd nvme.Command) nvme.Completion {
+	if !b.dev.Ready() {
+		return nvme.Completion{CID: cmd.CID, Status: nvme.StatusNSNotReady}
+	}
 	b.adminSQ.slots.Acquire(p)
 	cid := b.allocCID()
 	cmd.CID = cid
@@ -260,6 +268,22 @@ func (b *backend) adminCmd(p *sim.Proc, cmd nvme.Command) nvme.Completion {
 // its media time to the right request span.
 func (b *backend) submitIO(p *sim.Proc, cmd nvme.Command, qhint int, skey uint64, done func(nvme.Completion)) {
 	b.waitGate(p)
+	if b.e.flt != nil {
+		// Injected host-adaptor stall: submissions to this SSD are held for
+		// the rule's window (a congested or wedged back-end path), re-checking
+		// the gate afterwards in case a quiesce started meanwhile.
+		for {
+			end := b.e.flt.StallUntil(fault.BackendSubmit, b.dev.Config().Serial, int64(b.e.env.Now()))
+			if sim.Time(end) <= b.e.env.Now() {
+				break
+			}
+			if b.e.tr != nil {
+				b.e.tr.Emit(b.e.env.Now(), "fault", "backend-stall", uint64(b.idx), uint64(sim.Time(end)-b.e.env.Now()), b.dev.Config().Serial)
+			}
+			p.Sleep(sim.Time(end) - b.e.env.Now())
+			b.waitGate(p)
+		}
+	}
 	sq := b.ioSQs[qhint%len(b.ioSQs)]
 	sq.slots.Acquire(p)
 	cid := b.allocCID()
@@ -335,13 +359,37 @@ func (b *backend) waitGate(p *sim.Proc) {
 }
 
 // closeGate stops new submissions and waits for in-flight commands on this
-// SSD to drain.
+// SSD to drain. If the device is gone (surprise removal) the drain would
+// never finish, so pending commands are abandoned with a retryable
+// not-ready status instead — the host driver's retry logic re-issues them
+// once a replacement is in service.
 func (b *backend) closeGate(p *sim.Proc) {
 	b.gateClosed = true
+	if b.inflight > 0 && !b.dev.Ready() {
+		b.abandonPending()
+	}
 	if b.inflight > 0 {
 		b.drainEv = b.e.env.NewEvent()
 		p.Wait(b.drainEv)
 		b.drainEv = nil
+	}
+}
+
+// abandonPending synthesises not-ready completions for every outstanding
+// command, in CID order so replay stays deterministic. Real completions
+// from the dead device can no longer arrive, and complete() tolerates
+// stragglers anyway.
+func (b *backend) abandonPending() {
+	cids := make([]int, 0, len(b.pending))
+	for cid := range b.pending {
+		cids = append(cids, int(cid))
+	}
+	sort.Ints(cids)
+	for _, cid := range cids {
+		if b.e.tr != nil {
+			b.e.tr.Emit(b.e.env.Now(), "engine", "abandon", uint64(b.idx)<<16|uint64(cid), 0, b.dev.Config().Serial)
+		}
+		b.complete(nvme.Completion{CID: uint16(cid), Status: nvme.StatusNSNotReady})
 	}
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"bmstore/internal/fault"
 	"bmstore/internal/hostmem"
 	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
@@ -74,6 +75,9 @@ type Engine struct {
 	met       *obs.Registry
 	mDispatch *obs.Counter
 	mFlushes  *obs.Counter
+	// flt is the rig's fault injector, cached like tr/met; the back-end
+	// submit path consults it for injected stalls.
+	flt *fault.Injector
 
 	hostPort *pcie.Port
 	chip     *hostmem.Memory
@@ -103,6 +107,7 @@ func New(env *sim.Env, cfg Config) *Engine {
 		cfg:      cfg,
 		tr:       env.Tracer(),
 		met:      env.Metrics(),
+		flt:      env.Faults(),
 		chip:     hostmem.New(cfg.ChipMemBytes),
 		Firmware: "BMS_1.0",
 	}

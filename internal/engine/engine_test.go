@@ -47,7 +47,13 @@ func newFeHarness(t *testing.T, numSSDs int) *feHarness {
 }
 
 func newFeHarnessWith(t *testing.T, numSSDs int, mutate func(*Config)) *feHarness {
-	env := sim.NewEnv(11)
+	return newFeHarnessEnv(t, sim.NewEnv(11), numSSDs, mutate)
+}
+
+// newFeHarnessEnv builds the harness on a caller-provided environment, so
+// tests can arm observers (fault injectors, tracers) before any component
+// caches its pointers.
+func newFeHarnessEnv(t *testing.T, env *sim.Env, numSSDs int, mutate func(*Config)) *feHarness {
 	mem := hostmem.New(512 << 20)
 	root := pcie.NewRoot(env, mem)
 

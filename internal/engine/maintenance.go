@@ -23,11 +23,13 @@ func (e *Engine) QuiesceBackend(p *sim.Proc, idx int) {
 }
 
 // ResumeBackend reopens the gate. If the SSD went through a controller
-// reset while quiesced (firmware activation), the adaptor rebuilds its
-// queues first — the "reload I/O context" step.
+// reset while quiesced (firmware activation), or a previous resume failed
+// partway through bring-up, the adaptor rebuilds its queues first — the
+// "reload I/O context" step. On error the gate stays closed so the caller
+// can retry; host I/O keeps waiting rather than failing.
 func (e *Engine) ResumeBackend(p *sim.Proc, idx int) error {
 	b := e.backends[idx]
-	if !b.dev.Ready() {
+	if !b.dev.Ready() || !b.ready {
 		b.freeRings()
 		b.ready = false
 		if err := b.init(p); err != nil {

@@ -46,7 +46,7 @@ func AblationZeroCopy(h *Harness) *Table {
 func zeroCopyPoint(cfg bmstore.Config, sc Scale, storeAndForward bool) (mbs, latUS float64) {
 	cfg.NumSSDs = 4
 	cfg.Engine.StoreAndForward = storeAndForward
-	tb := bmstore.NewBMStoreTestbed(cfg)
+	tb := mustTestbed(bmstore.NewBMStoreTestbed(cfg))
 	tb.Run(func(p *sim.Proc) {
 		var devs []host.BlockDevice
 		var lat0 *host.Driver
@@ -111,7 +111,7 @@ func AblationQoS(h *Harness) *Table {
 
 func qosPoint(cfg bmstore.Config, sc Scale, capped bool) (victimP99US, neighbourMBs float64) {
 	cfg.NumSSDs = 1
-	tb := bmstore.NewBMStoreTestbed(cfg)
+	tb := mustTestbed(bmstore.NewBMStoreTestbed(cfg))
 	tb.Run(func(p *sim.Proc) {
 		tb.Console.CreateNamespace(p, "victim", 256<<30, []int{0})
 		tb.Console.CreateNamespace(p, "noisy", 256<<30, []int{0})

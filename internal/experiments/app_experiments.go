@@ -28,7 +28,7 @@ func withSchemeDevice(scheme string, cfg bmstore.Config, fn func(p *sim.Proc, en
 	vm := host.KVMGuest()
 	switch scheme {
 	case "VFIO":
-		tb := bmstore.NewDirectTestbed(cfg)
+		tb := mustTestbed(bmstore.NewDirectTestbed(cfg))
 		tb.Run(func(p *sim.Proc) {
 			dcfg := host.DefaultDriverConfig()
 			dcfg.VM = &vm
@@ -39,7 +39,7 @@ func withSchemeDevice(scheme string, cfg bmstore.Config, fn func(p *sim.Proc, en
 			fn(p, tb.Env, drv.BlockDev(0))
 		})
 	case "BM-Store":
-		tb := bmstore.NewBMStoreTestbed(cfg)
+		tb := mustTestbed(bmstore.NewBMStoreTestbed(cfg))
 		tb.Run(func(p *sim.Proc) {
 			if err := tb.Console.CreateNamespace(p, "app", 1536<<30, []int{0}); err != nil {
 				panic(err)
@@ -57,7 +57,7 @@ func withSchemeDevice(scheme string, cfg bmstore.Config, fn func(p *sim.Proc, en
 		})
 	case "SPDK vhost":
 		cfg.Kernel = spdkvhost.PolledKernel()
-		tb := bmstore.NewDirectTestbed(cfg)
+		tb := mustTestbed(bmstore.NewDirectTestbed(cfg))
 		tb.Run(func(p *sim.Proc) {
 			drv, err := tb.AttachNative(p, 0, host.DefaultDriverConfig())
 			if err != nil {
@@ -243,7 +243,7 @@ func fig14Row(cfg bmstore.Config, sc Scale, scheme string) []string {
 
 	switch scheme {
 	case "VFIO":
-		tb := bmstore.NewDirectTestbed(cfg)
+		tb := mustTestbed(bmstore.NewDirectTestbed(cfg))
 		tb.Run(func(p *sim.Proc) {
 			var devs []host.BlockDevice
 			for i := 0; i < 4; i++ {
@@ -258,7 +258,7 @@ func fig14Row(cfg bmstore.Config, sc Scale, scheme string) []string {
 			runAll(tb.Env, p, devs)
 		})
 	case "BM-Store":
-		tb := bmstore.NewBMStoreTestbed(cfg)
+		tb := mustTestbed(bmstore.NewBMStoreTestbed(cfg))
 		tb.Run(func(p *sim.Proc) {
 			var devs []host.BlockDevice
 			for i := 0; i < 4; i++ {
@@ -281,7 +281,7 @@ func fig14Row(cfg bmstore.Config, sc Scale, scheme string) []string {
 		})
 	case "SPDK vhost":
 		cfg.Kernel = spdkvhost.PolledKernel()
-		tb := bmstore.NewDirectTestbed(cfg)
+		tb := mustTestbed(bmstore.NewDirectTestbed(cfg))
 		tb.Run(func(p *sim.Proc) {
 			tgt := spdkvhost.NewTarget(tb.Env, spdkvhost.DefaultConfig(), 4)
 			var devs []host.BlockDevice

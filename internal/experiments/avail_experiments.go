@@ -58,7 +58,7 @@ func hotUpgradeRun(cfg bmstore.Config, sc Scale, pattern fio.Pattern) ([][]strin
 		c.FWCommitMin, c.FWCommitMax = fwMin, fwMax
 		return c
 	}
-	tb := bmstore.NewBMStoreTestbed(cfg)
+	tb := mustTestbed(bmstore.NewBMStoreTestbed(cfg))
 
 	binNS := int64(500 * sim.Millisecond)
 	series := stats.NewSeries(binNS)

@@ -17,6 +17,15 @@ import (
 	"bmstore/internal/spdkvhost"
 )
 
+// mustTestbed unwraps a testbed constructor result. Experiment configs are
+// fixed and known-good, so a construction error is a bug in the harness.
+func mustTestbed(tb *bmstore.Testbed, err error) *bmstore.Testbed {
+	if err != nil {
+		panic(err)
+	}
+	return tb
+}
+
 // Scale selects run lengths: Fast for tests/benches, Full for the numbers
 // in EXPERIMENTS.md. Virtual time only — absolute results barely move, the
 // confidence intervals shrink.
@@ -134,7 +143,7 @@ func fioDevs(drv *host.Driver, jobs int) []host.BlockDevice {
 // topology.
 func nativeFio(cfg bmstore.Config, spec fio.Spec) *fio.Result {
 	cfg.NumSSDs = 1
-	tb := bmstore.NewDirectTestbed(cfg)
+	tb := mustTestbed(bmstore.NewDirectTestbed(cfg))
 	var res *fio.Result
 	tb.Run(func(p *sim.Proc) {
 		drv, err := tb.AttachNative(p, 0, host.DefaultDriverConfig())
@@ -150,7 +159,7 @@ func nativeFio(cfg bmstore.Config, spec fio.Spec) *fio.Result {
 // tenant when vm is nil, guest otherwise).
 func bmstoreFio(cfg bmstore.Config, spec fio.Spec, nsBytes uint64, vm *host.VMProfile) *fio.Result {
 	cfg.NumSSDs = 1
-	tb := bmstore.NewBMStoreTestbed(cfg)
+	tb := mustTestbed(bmstore.NewBMStoreTestbed(cfg))
 	var res *fio.Result
 	tb.Run(func(p *sim.Proc) {
 		if err := tb.Console.CreateNamespace(p, "vol0", nsBytes, []int{0}); err != nil {
@@ -173,7 +182,7 @@ func bmstoreFio(cfg bmstore.Config, spec fio.Spec, nsBytes uint64, vm *host.VMPr
 // vfioFio runs one fio spec on a passed-through native disk inside a VM.
 func vfioFio(cfg bmstore.Config, spec fio.Spec) *fio.Result {
 	cfg.NumSSDs = 1
-	tb := bmstore.NewDirectTestbed(cfg)
+	tb := mustTestbed(bmstore.NewDirectTestbed(cfg))
 	var res *fio.Result
 	tb.Run(func(p *sim.Proc) {
 		vm := host.KVMGuest()
@@ -193,7 +202,7 @@ func vfioFio(cfg bmstore.Config, spec fio.Spec) *fio.Result {
 func spdkFio(cfg bmstore.Config, spec fio.Spec) *fio.Result {
 	cfg.NumSSDs = 1
 	cfg.Kernel = spdkvhost.PolledKernel()
-	tb := bmstore.NewDirectTestbed(cfg)
+	tb := mustTestbed(bmstore.NewDirectTestbed(cfg))
 	var res *fio.Result
 	tb.Run(func(p *sim.Proc) {
 		drv, err := tb.AttachNative(p, 0, host.DefaultDriverConfig())

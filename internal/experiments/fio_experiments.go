@@ -44,7 +44,7 @@ func Fig1(h *Harness) *Table {
 func fig1Point(cfg bmstore.Config, sc Scale, cores int) float64 {
 	cfg.NumSSDs = 4
 	cfg.Kernel = spdkvhost.PolledKernel()
-	tb := bmstore.NewDirectTestbed(cfg)
+	tb := mustTestbed(bmstore.NewDirectTestbed(cfg))
 	var bw float64
 	tb.Run(func(p *sim.Proc) {
 		tgt := spdkvhost.NewTarget(tb.Env, spdkvhost.DefaultConfig(), cores)
@@ -144,7 +144,7 @@ func Table6(h *Harness) *Table {
 		cfg := h.config(fmt.Sprintf("table6/%s-%s", k.OS, k.Version), int64(600+i))
 		cfg.NumSSDs = 1
 		cfg.Kernel = k
-		tb := bmstore.NewBMStoreTestbed(cfg)
+		tb := mustTestbed(bmstore.NewBMStoreTestbed(cfg))
 		tb.Run(func(p *sim.Proc) {
 			tb.Console.CreateNamespace(p, "v", 1536<<30, []int{0})
 			tb.Console.Bind(p, "v", 0)
@@ -222,7 +222,7 @@ func Fig10(h *Harness) *Table {
 		n := counts[idx]
 		cfg := h.config(fmt.Sprintf("fig10/%dssd", n), int64(900+n))
 		cfg.NumSSDs = n
-		tb := bmstore.NewBMStoreTestbed(cfg)
+		tb := mustTestbed(bmstore.NewBMStoreTestbed(cfg))
 		tb.Run(func(p *sim.Proc) {
 			var devs []host.BlockDevice
 			for i := 0; i < n; i++ {
@@ -287,7 +287,7 @@ func Fig11(h *Harness) *Table {
 
 func fig11Point(cfg bmstore.Config, sc Scale, nVMs int) (total, minVM, maxVM float64) {
 	cfg.NumSSDs = 4
-	tb := bmstore.NewBMStoreTestbed(cfg)
+	tb := mustTestbed(bmstore.NewBMStoreTestbed(cfg))
 	vm := host.KVMGuest()
 	perVM := make([]float64, nVMs)
 	tb.Run(func(p *sim.Proc) {
@@ -362,7 +362,7 @@ func Fig12(h *Harness) *Table {
 		c.Ramp = 5 * sim.Millisecond
 		cfg := h.config(fmt.Sprintf("fig12/%s", c.Name), int64(1200+ci))
 		cfg.NumSSDs = 4
-		tb := bmstore.NewBMStoreTestbed(cfg)
+		tb := mustTestbed(bmstore.NewBMStoreTestbed(cfg))
 		vm := host.KVMGuest()
 		results := make([]*fio.Result, 4)
 		tb.Run(func(p *sim.Proc) {

@@ -1,0 +1,195 @@
+package fault
+
+import "testing"
+
+func TestHitNthAndCount(t *testing.T) {
+	in := New(Rule{Point: SSDAdmin, Target: "S1", Nth: 3, Count: 2, Status: 0x06})
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if r := in.Hit(SSDAdmin, "S1", 0); r != nil {
+			fired = append(fired, i)
+			if r.Status != 0x06 {
+				t.Fatalf("rule status = %#x, want 0x06", r.Status)
+			}
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("fired on ops %v, want [3 4]", fired)
+	}
+	if in.Injected() != 2 {
+		t.Fatalf("injected = %d, want 2", in.Injected())
+	}
+}
+
+func TestHitDefaultsToSingleShot(t *testing.T) {
+	in := New(Rule{Point: SSDAdmin})
+	if in.Hit(SSDAdmin, "any", 0) == nil {
+		t.Fatal("first op should fire")
+	}
+	if in.Hit(SSDAdmin, "any", 0) != nil {
+		t.Fatal("Count 0 means one firing")
+	}
+}
+
+func TestHitUnlimitedCount(t *testing.T) {
+	in := New(Rule{Point: MCTPRx, Count: -1})
+	for i := 0; i < 5; i++ {
+		if in.Hit(MCTPRx, "console", 0) == nil {
+			t.Fatalf("op %d should fire with Count -1", i)
+		}
+	}
+}
+
+func TestHitArmsAtTime(t *testing.T) {
+	in := New(Rule{Point: SSDAdmin, At: 100})
+	if in.Hit(SSDAdmin, "S1", 99) != nil {
+		t.Fatal("rule fired before At")
+	}
+	if in.Hit(SSDAdmin, "S1", 100) == nil {
+		t.Fatal("rule should fire at At")
+	}
+}
+
+func TestTargetFilter(t *testing.T) {
+	in := New(Rule{Point: SSDAdmin, Target: "S1", Count: -1})
+	if in.Hit(SSDAdmin, "S2", 0) != nil {
+		t.Fatal("rule fired on wrong target")
+	}
+	if in.Hit(SSDAdmin, "S1", 0) == nil {
+		t.Fatal("rule should fire on its target")
+	}
+}
+
+func TestHitMediaDieFilter(t *testing.T) {
+	in := New(Rule{Point: SSDMediaRead, Die: 3, Count: -1, Status: 0x281})
+	if in.HitMedia("S1", 1, 0) != nil {
+		t.Fatal("die 1 should not match Die filter 3 (= die 2)")
+	}
+	if in.HitMedia("S1", 2, 0) == nil {
+		t.Fatal("die 2 should match 1-based Die filter 3")
+	}
+	// Die 0 matches everything.
+	in2 := New(Rule{Point: SSDMediaRead, Count: -1})
+	if in2.HitMedia("S1", 7, 0) == nil {
+		t.Fatal("zero Die should match any die")
+	}
+}
+
+func TestStallUntil(t *testing.T) {
+	in := New(Rule{Point: SSDStall, Target: "S1", At: 100, Duration: 50})
+	if end := in.StallUntil(SSDStall, "S1", 99); end != 0 {
+		t.Fatalf("stall active before window: end=%d", end)
+	}
+	if end := in.StallUntil(SSDStall, "S1", 120); end != 150 {
+		t.Fatalf("stall end = %d, want 150", end)
+	}
+	if end := in.StallUntil(SSDStall, "S1", 150); end != 0 {
+		t.Fatalf("stall active at window end: end=%d", end)
+	}
+	if in.Injected() != 1 {
+		t.Fatalf("stall window injected = %d, want 1", in.Injected())
+	}
+}
+
+func TestDropped(t *testing.T) {
+	in := New(Rule{Point: SSDDrop, Target: "S1", At: 100})
+	if in.Dropped("S1", 50) {
+		t.Fatal("dropped before At")
+	}
+	if in.Dropped("S2", 200) {
+		t.Fatal("wrong target dropped")
+	}
+	if !in.Dropped("S1", 100) || !in.Dropped("S1", 300) {
+		t.Fatal("drop should be permanent once armed")
+	}
+	if in.Injected() != 1 {
+		t.Fatalf("drop injected = %d, want 1", in.Injected())
+	}
+}
+
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	if in.Hit(SSDAdmin, "x", 0) != nil || in.HitMedia("x", 0, 0) != nil {
+		t.Fatal("nil injector fired")
+	}
+	if in.StallUntil(SSDStall, "x", 0) != 0 || in.Dropped("x", 0) {
+		t.Fatal("nil injector stalled/dropped")
+	}
+	if in.Injected() != 0 || in.Rules() != nil {
+		t.Fatal("nil injector has state")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	rules := []Rule{
+		{Point: SSDMediaRead, Nth: 2, Count: 3, Status: 0x82},
+		{Point: SSDStall, At: 10, Duration: 5},
+		{Point: SSDDrop, Target: "S9", At: 40},
+	}
+	run := func() []uint64 {
+		in := New(rules...)
+		var log []uint64
+		for now := int64(0); now < 50; now += 5 {
+			if in.HitMedia("S1", int(now%4), now) != nil {
+				log = append(log, uint64(now)<<8|1)
+			}
+			if in.StallUntil(SSDStall, "S1", now) > 0 {
+				log = append(log, uint64(now)<<8|2)
+			}
+			if in.Dropped("S9", now) {
+				log = append(log, uint64(now)<<8|3)
+			}
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("scenario injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d injections", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %x vs %x", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("ssd-drop,t=20ms,target=PHLJ0000; media-slow,nth=100,count=-1,dur=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(rules))
+	}
+	if rules[0].Point != SSDDrop || rules[0].At != 20_000_000 || rules[0].Target != "PHLJ0000" {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if rules[1].Point != SSDMediaRead || rules[1].Nth != 100 || rules[1].Count != -1 || rules[1].Duration != 2_000_000 {
+		t.Fatalf("rule 1 = %+v", rules[1])
+	}
+}
+
+func TestParseSpecDefaultsAndErrors(t *testing.T) {
+	rules, err := ParseSpec("media-err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules[0].Status != 0x281 {
+		t.Fatalf("media-err default status = %#x, want 0x281", rules[0].Status)
+	}
+	rules, err = ParseSpec("admin-err,status=0x82")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules[0].Status != 0x82 {
+		t.Fatalf("status override = %#x, want 0x82", rules[0].Status)
+	}
+	for _, bad := range []string{"", "warp-core-breach", "ssd-stall,t=", "ssd-drop,t", "media-err,volume=11"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q should not parse", bad)
+		}
+	}
+}

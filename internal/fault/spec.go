@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses the command-line fault language used by fiosim -faults:
+// semicolon-separated rules, each a kind followed by comma-separated
+// key=value fields.
+//
+//	kind[,t=20ms][,dur=5ms][,nth=50][,count=3][,target=PHLJ0000][,status=0x82][,die=7]
+//
+// Kinds: media-err, media-slow, admin-err, ssd-stall, ssd-drop,
+// pcie-replay, mctp-drop, backend-stall. Times (t, dur) use Go duration
+// syntax and are virtual time; status accepts decimal or 0x-hex.
+//
+// Example — drop SSD PHLJ0000 20 ms in, and make every 100th media read on
+// any drive take an extra 2 ms:
+//
+//	ssd-drop,t=20ms,target=PHLJ0000;media-slow,nth=100,count=-1,dur=2ms
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, fmt.Errorf("fault: rule %q: %w", part, err)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	return rules, nil
+}
+
+// specKinds maps spec-language kinds to their point and defaults.
+var specKinds = map[string]Rule{
+	"media-err":     {Point: SSDMediaRead, Status: 0x281}, // unrecovered read error
+	"media-slow":    {Point: SSDMediaRead, Duration: int64(time.Millisecond)},
+	"admin-err":     {Point: SSDAdmin, Status: 0x06}, // internal error
+	"ssd-stall":     {Point: SSDStall, Duration: int64(5 * time.Millisecond)},
+	"ssd-drop":      {Point: SSDDrop},
+	"pcie-replay":   {Point: PCIeXfer},
+	"mctp-drop":     {Point: MCTPRx},
+	"backend-stall": {Point: BackendSubmit, Duration: int64(5 * time.Millisecond)},
+}
+
+func parseRule(s string) (Rule, error) {
+	fields := strings.Split(s, ",")
+	r, ok := specKinds[strings.TrimSpace(fields[0])]
+	if !ok {
+		return Rule{}, fmt.Errorf("unknown kind %q", fields[0])
+	}
+	for _, f := range fields[1:] {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		k, v, found := strings.Cut(f, "=")
+		if !found {
+			return Rule{}, fmt.Errorf("field %q is not key=value", f)
+		}
+		var err error
+		switch k {
+		case "t":
+			var d time.Duration
+			if d, err = time.ParseDuration(v); err == nil {
+				r.At = int64(d)
+			}
+		case "dur":
+			var d time.Duration
+			if d, err = time.ParseDuration(v); err == nil {
+				r.Duration = int64(d)
+			}
+		case "nth":
+			r.Nth, err = strconv.ParseUint(v, 10, 64)
+		case "count":
+			r.Count, err = strconv.Atoi(v)
+		case "target":
+			r.Target = v
+		case "status":
+			var st uint64
+			if st, err = strconv.ParseUint(v, 0, 16); err == nil {
+				r.Status = uint16(st)
+			}
+		case "die":
+			r.Die, err = strconv.Atoi(v)
+		default:
+			return Rule{}, fmt.Errorf("unknown field %q", k)
+		}
+		if err != nil {
+			return Rule{}, fmt.Errorf("field %q: %w", f, err)
+		}
+	}
+	return r, nil
+}

@@ -32,6 +32,20 @@ type DriverConfig struct {
 	CreateNSBlocks uint64
 	// VM, when non-nil, applies guest virtualisation overhead to every I/O.
 	VM *VMProfile
+	// CmdTimeout, when nonzero, bounds how long one I/O attempt may stay in
+	// flight before the driver gives up on it: the attempt's CID is parked
+	// on the zombie list (its late CQE, if any, reclaims the slot), an NVMe
+	// Abort is sent, and the command is eligible for retry. Zero keeps the
+	// historical wait-forever behaviour and schedules no timer events, so
+	// existing rigs' traces are unchanged.
+	CmdTimeout sim.Time
+	// MaxRetries is how many times a timed-out or retryably-failed I/O is
+	// re-issued before its status is returned to the caller. Zero fails
+	// fast on the first error.
+	MaxRetries int
+	// RetryBackoff is the base delay before a retry; attempt n sleeps
+	// RetryBackoff << n (bounded exponential backoff).
+	RetryBackoff sim.Time
 }
 
 // DefaultDriverConfig covers the paper's fio setup: 4 jobs, deep queues.
@@ -57,6 +71,9 @@ type Driver struct {
 	mDoorbells *obs.Counter
 	mCQEs      *obs.Counter
 	mSplits    *obs.Counter
+	mTimeouts  *obs.Counter
+	mAborts    *obs.Counter
+	mRetries   *obs.Counter
 
 	admin  *dq
 	queues []*dq
@@ -77,6 +94,10 @@ type dq struct {
 	slots  *sim.Resource
 	free   []uint16 // free slot indices (used as CIDs)
 	wait   map[uint16]*sim.Event
+	// zombie holds CIDs abandoned by a command timeout: the slot stays out
+	// of circulation (the device may still DMA into its buffer) until the
+	// straggler CQE arrives and the IRQ handler reclaims it.
+	zombie map[uint16]bool
 	buf    []uint64 // per-slot data buffer base
 	prpPg  []uint64 // per-slot PRP list page
 }
@@ -98,6 +119,9 @@ func AttachDriver(p *sim.Proc, h *Host, port *pcie.Port, fn pcie.FuncID, cfg Dri
 		d.mDoorbells = comp.Counter("doorbells")
 		d.mCQEs = comp.Counter("cqes")
 		d.mSplits = comp.Counter("block_splits")
+		d.mTimeouts = comp.Counter("timeouts")
+		d.mAborts = comp.Counter("aborts")
+		d.mRetries = comp.Counter("retries")
 	}
 	h.register(d)
 
@@ -180,6 +204,7 @@ func (d *Driver) newQueue(qid uint16, depth uint32, maxIO int) *dq {
 		phase:  true,
 		slots:  sim.NewResource(d.h.Env, int(depth)-1),
 		wait:   make(map[uint16]*sim.Event),
+		zombie: make(map[uint16]bool),
 	}
 	nSlots := int(depth) - 1
 	for s := 0; s < nSlots; s++ {
@@ -242,6 +267,12 @@ func (d *Driver) IRQ(vec int) {
 		if ev := q.wait[cpl.CID]; ev != nil {
 			delete(q.wait, cpl.CID)
 			ev.Trigger(cpl)
+		} else if q.zombie[cpl.CID] {
+			// Straggler completion for a timed-out command: nobody is
+			// waiting anymore, but the slot can go back into circulation.
+			delete(q.zombie, cpl.CID)
+			q.free = append(q.free, cpl.CID)
+			q.slots.Release()
 		}
 	}
 }
@@ -280,11 +311,43 @@ func (d *Driver) IO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte
 		return d.splitIO(p, op, lba, blocks, buf, qIdx, sp)
 	}
 	// Span start: the timestamp is taken here (kernel entry), the key once
-	// the queue slot — and with it the CID — is known.
+	// the queue slot — and with it the CID — is known. Retried attempts
+	// reuse the same t0 so a recovered I/O's span covers the whole episode.
 	spanT0 := int64(0)
 	if d.met != nil && op != nvme.IOFlush {
 		spanT0 = d.h.Env.Now()
 	}
+	for attempt := 0; ; attempt++ {
+		st, timedOut := d.ioAttempt(p, op, lba, blocks, buf, qIdx, spanT0)
+		if !timedOut && !st.IsError() {
+			return st
+		}
+		if retryable := timedOut || st.Retryable(); !retryable || attempt >= d.cfg.MaxRetries {
+			if timedOut {
+				// Retries exhausted with no completion in hand: the last
+				// attempt was aborted, so report it that way.
+				return nvme.StatusAborted
+			}
+			return st
+		}
+		d.mRetries.Inc()
+		if d.tr != nil {
+			d.tr.Emit(d.h.Env.Now(), "host", "retry",
+				uint64(d.fn)<<32|uint64(op)<<16|uint64(attempt), uint64(st), "")
+		}
+		if d.cfg.RetryBackoff > 0 {
+			p.Sleep(d.cfg.RetryBackoff << uint(attempt))
+		}
+	}
+}
+
+// ioAttempt runs one submission attempt: queue slot, SQE, doorbell, wait.
+// It returns the completion status plus whether the attempt timed out (no
+// CQE within cfg.CmdTimeout). On timeout the CID is zombied — its slot
+// stays reserved until the straggler CQE shows up — and a best-effort NVMe
+// Abort is issued so the device can drop the command.
+func (d *Driver) ioAttempt(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte, qIdx int, spanT0 int64) (nvme.Status, bool) {
+	nBytes := int(blocks) * nvme.LBASize
 	// In-path submission cost.
 	sub := d.h.Kernel.SubmitLatency
 	comp := d.h.Kernel.CompleteLatency
@@ -333,19 +396,80 @@ func (d *Driver) IO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte
 	d.mDoorbells.Inc()
 	d.port.MMIOWrite(d.fn, nvme.SQDoorbell(q.id), uint64(q.tail))
 
-	cpl := p.Wait(ev).(nvme.Completion)
+	var cpl nvme.Completion
+	if d.cfg.CmdTimeout > 0 {
+		got, ok := p.WaitTimeout(ev, d.cfg.CmdTimeout)
+		if !ok {
+			delete(q.wait, cmd.CID)
+			q.zombie[cmd.CID] = true
+			d.mTimeouts.Inc()
+			if d.tr != nil {
+				d.tr.Emit(d.h.Env.Now(), "host", "timeout",
+					uint64(d.fn)<<32|uint64(q.id)<<16|uint64(cmd.CID), uint64(op), "")
+			}
+			if d.met != nil && op != nvme.IOFlush {
+				d.met.SpanError(spanKey)
+				d.met.SpanFinish(spanKey, d.h.Env.Now())
+				d.mInflight.Dec(d.h.Env.Now())
+			}
+			d.abort(p, q.id, cmd.CID)
+			return nvme.StatusSuccess, true
+		}
+		cpl = got.(nvme.Completion)
+	} else {
+		cpl = p.Wait(ev).(nvme.Completion)
+	}
 	p.Sleep(comp)
-	if op == nvme.IORead && buf != nil {
+	if op == nvme.IORead && buf != nil && !cpl.Status.IsError() {
 		d.h.Mem.Read(q.buf[slot], buf)
 	}
 	if d.met != nil && op != nvme.IOFlush {
 		now := d.h.Env.Now()
+		if cpl.Status.IsError() {
+			d.met.SpanError(spanKey)
+		}
 		d.met.SpanFinish(spanKey, now)
 		d.mInflight.Dec(now)
 	}
 	q.free = append(q.free, slot)
 	q.slots.Release()
-	return cpl.Status
+	return cpl.Status, false
+}
+
+// abort issues an NVMe Abort for (sqid, cid) after a command timeout. It is
+// best-effort: the BMS-Engine and the SSD model both complete Abort with
+// success without touching the target command, which matches how loosely
+// real controllers honour it. The wait is bounded by the same CmdTimeout;
+// if the device is too dead to even complete the abort, the admin slot
+// joins the zombie list too.
+func (d *Driver) abort(p *sim.Proc, sqid, cid uint16) {
+	d.mAborts.Inc()
+	q := d.admin
+	q.slots.Acquire(p)
+	slot := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	cmd := nvme.Command{
+		Opcode: nvme.AdminAbort, CID: slot,
+		CDW10: uint32(sqid) | uint32(cid)<<16,
+	}
+	var b [nvme.SQESize]byte
+	cmd.Encode(&b)
+	d.h.Mem.Write(q.sqRing.SlotAddr(q.tail), b[:])
+	q.tail = q.sqRing.Next(q.tail)
+	ev := d.h.Env.NewEvent()
+	q.wait[cmd.CID] = ev
+	if d.tr != nil {
+		d.tr.Emit(d.h.Env.Now(), "host", "abort",
+			uint64(d.fn)<<32|uint64(sqid)<<16|uint64(cid), 0, "")
+	}
+	d.port.MMIOWrite(d.fn, nvme.SQDoorbell(q.id), uint64(q.tail))
+	if _, ok := p.WaitTimeout(ev, d.cfg.CmdTimeout); !ok {
+		delete(q.wait, slot)
+		q.zombie[slot] = true
+		return
+	}
+	q.free = append(q.free, slot)
+	q.slots.Release()
 }
 
 // splitIO fans a large I/O out as concurrent split requests, the way the

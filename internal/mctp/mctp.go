@@ -86,6 +86,7 @@ type Endpoint struct {
 	eid     uint8
 	send    func(raw []byte)
 	handler func(src uint8, msgType uint8, body []byte)
+	rxFault func() bool
 	reasm   map[reasmKey]*partial
 	nextTag uint8
 	// Dropped counts packets discarded for protocol violations; the
@@ -118,6 +119,12 @@ func (ep *Endpoint) SetHandler(fn func(src uint8, msgType uint8, body []byte)) {
 	ep.handler = fn
 }
 
+// SetRxFault installs a receive-path fault hook: a packet for which fn
+// returns true is discarded before decoding, exactly as if the wire ate it.
+// This keeps the package free of simulation dependencies — the endpoint's
+// owner bridges to the rig's fault injector. Pass nil to remove.
+func (ep *Endpoint) SetRxFault(fn func() bool) { ep.rxFault = fn }
+
 // Send fragments one message (message-type byte plus payload) to dst.
 func (ep *Endpoint) Send(dst uint8, msgType uint8, payload []byte) {
 	body := append([]byte{msgType}, payload...)
@@ -146,6 +153,10 @@ func (ep *Endpoint) Send(dst uint8, msgType uint8, payload []byte) {
 // Receive feeds one raw packet into reassembly; complete messages invoke
 // the handler.
 func (ep *Endpoint) Receive(raw []byte) {
+	if ep.rxFault != nil && ep.rxFault() {
+		ep.Dropped++
+		return
+	}
 	pk, err := DecodePacket(raw)
 	if err != nil {
 		ep.Dropped++

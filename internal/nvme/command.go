@@ -74,8 +74,26 @@ const (
 	StatusNSAlreadyAttached Status = 0x118
 )
 
+// Media-error status values (SCT=2).
+const (
+	StatusUnrecoveredRead Status = 0x281
+)
+
 // IsError reports whether s indicates failure.
 func (s Status) IsError() bool { return s != StatusSuccess }
+
+// Retryable reports whether a failed command is worth re-issuing: the
+// condition is transient (device resetting, quiesced path, torn transfer,
+// abort race) rather than a protocol or addressing error. Unrecovered media
+// reads are NOT retryable — the data is gone; re-reading the same LBA
+// returns the same error.
+func (s Status) Retryable() bool {
+	switch s {
+	case StatusNSNotReady, StatusInternal, StatusDataTransferErr, StatusAborted:
+		return true
+	}
+	return false
+}
 
 // Command is one 64-byte NVMe submission queue entry in decoded form.
 type Command struct {

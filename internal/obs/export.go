@@ -76,6 +76,7 @@ type SpanSnap struct {
 	Write      OpSpanSnap `json:"write"`
 	Collisions uint64     `json:"collisions,omitempty"`
 	Dropped    uint64     `json:"dropped,omitempty"`
+	Errored    uint64     `json:"errored,omitempty"`
 	Live       uint64     `json:"live,omitempty"`
 }
 
@@ -136,12 +137,13 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 func spanSnap(agg *SpanAgg) *SpanSnap {
-	if agg.Finished[OpRead]+agg.Finished[OpWrite]+agg.Dropped+agg.Collisions == 0 {
+	if agg.Finished[OpRead]+agg.Finished[OpWrite]+agg.Dropped+agg.Collisions+agg.Errored == 0 {
 		return nil
 	}
 	snap := &SpanSnap{
 		Collisions: agg.Collisions,
 		Dropped:    agg.Dropped,
+		Errored:    agg.Errored,
 		Live:       agg.Live,
 	}
 	for op := Op(0); op < numOps; op++ {
@@ -309,8 +311,8 @@ func (s Snapshot) WriteSummary(w io.Writer) error {
 		}
 	}
 	if sp := s.Spans; sp != nil {
-		if _, err := fmt.Fprintf(w, "  spans: read=%d write=%d dropped=%d collisions=%d live=%d\n",
-			sp.Read.N, sp.Write.N, sp.Dropped, sp.Collisions, sp.Live); err != nil {
+		if _, err := fmt.Fprintf(w, "  spans: read=%d write=%d dropped=%d errored=%d collisions=%d live=%d\n",
+			sp.Read.N, sp.Write.N, sp.Dropped, sp.Errored, sp.Collisions, sp.Live); err != nil {
 			return err
 		}
 	}
@@ -372,8 +374,9 @@ func (agg *SpanAgg) WriteBreakdown(w io.Writer) error {
 		_, err := fmt.Fprintln(w, "I/O latency breakdown: no completed spans")
 		return err
 	}
-	if agg.Dropped+agg.Collisions > 0 {
-		_, err := fmt.Fprintf(w, "  (%d spans dropped, %d key collisions)\n", agg.Dropped, agg.Collisions)
+	if agg.Dropped+agg.Collisions+agg.Errored > 0 {
+		_, err := fmt.Fprintf(w, "  (%d spans dropped, %d errored, %d key collisions)\n",
+			agg.Dropped, agg.Errored, agg.Collisions)
 		return err
 	}
 	return nil

@@ -111,6 +111,7 @@ func DevKey(serial string, qid, cid uint16) uint64 {
 type span struct {
 	op      Op
 	set     uint16
+	errored bool
 	ts      [numMarks]int64
 	media   int64
 	aliases []uint64
@@ -131,6 +132,7 @@ type spanTable struct {
 
 	collisions uint64 // SpanStart over a still-live key (key reuse)
 	dropped    uint64 // finishes without a span, or with partial marks
+	errored    uint64 // spans closed on the error path (timeout, bad status)
 }
 
 func (t *spanTable) init() {
@@ -197,6 +199,19 @@ func (r *Registry) SpanMedia(alias uint64, d int64) {
 	}
 }
 
+// SpanError flags the span as having ended on the error path (a timed-out
+// or failed attempt). At SpanFinish it is counted under Errored instead of
+// contributing stage latencies — error-path timings would skew the
+// breakdown's partition property.
+func (r *Registry) SpanError(key uint64) {
+	if r == nil {
+		return
+	}
+	if sp, ok := r.spans.live[key]; ok {
+		sp.errored = true
+	}
+}
+
 // SpanFinish closes the span at virtual time t and folds its stages into
 // the breakdown histograms.
 func (r *Registry) SpanFinish(key uint64, t int64) {
@@ -229,6 +244,10 @@ func (sp *span) has(marks ...Mark) bool {
 
 // fold classifies the span and records its stage intervals.
 func (t *spanTable) fold(sp *span) {
+	if sp.errored {
+		t.errored++
+		return
+	}
 	op := sp.op
 	if op >= numOps || !sp.has(MarkStart, MarkDoorbell, MarkCQE, MarkFinish) {
 		t.dropped++
@@ -298,6 +317,7 @@ func (t *spanTable) mergeInto(agg *SpanAgg) {
 	}
 	agg.Collisions += t.collisions
 	agg.Dropped += t.dropped
+	agg.Errored += t.errored
 	agg.Live += uint64(len(t.live))
 }
 
@@ -310,6 +330,7 @@ type SpanAgg struct {
 
 	Collisions uint64
 	Dropped    uint64
+	Errored    uint64
 	Live       uint64
 }
 

@@ -14,9 +14,11 @@ package pcie
 import (
 	"fmt"
 
+	"bmstore/internal/fault"
 	"bmstore/internal/hostmem"
 	"bmstore/internal/obs"
 	"bmstore/internal/sim"
+	"bmstore/internal/trace"
 )
 
 // FuncID identifies one PCIe function (PF or VF) of a device. The paper's
@@ -59,6 +61,15 @@ type Link struct {
 	Latency sim.Time
 	lanes   int
 
+	// Name identifies the link to fault rules (fault.PCIeXfer targets).
+	// Set it before traffic flows; testbeds name their links at build time.
+	Name string
+
+	// flt/tr are the fault injector and tracer cached at construction
+	// (nil-safe, the usual observer discipline).
+	flt *fault.Injector
+	tr  *trace.Tracer
+
 	// Per-direction wire-byte counters (nil-safe no-ops when metrics are
 	// off); every reservation accounts its TLP framing too.
 	mUp   *obs.Counter
@@ -77,6 +88,8 @@ func NewLink(env *sim.Env, lanes int, latency sim.Time) *Link {
 		toDev:   sim.NewPacer(env, bw),
 		Latency: latency,
 		lanes:   lanes,
+		flt:     env.Faults(),
+		tr:      env.Tracer(),
 	}
 	if met := env.Metrics(); met != nil {
 		comp := met.Instance("pcie/link")
@@ -88,6 +101,33 @@ func NewLink(env *sim.Env, lanes int, latency sim.Time) *Link {
 
 // Lanes returns the configured lane count.
 func (l *Link) Lanes() int { return l.lanes }
+
+// defaultReplayLatency is the extra completion delay of a transaction hit
+// by a link-error replay when the rule specifies no Duration: the LTSSM
+// recovery plus TLP retransmission cost, in the microsecond class.
+const defaultReplayLatency = 1 * sim.Microsecond
+
+// replayPenalty consults the fault injector for a link-error replay on one
+// DMA transaction and returns the extra latency to add to its completion
+// time (0 almost always). Injections are witnessed in the trace so faulted
+// runs digest differently from clean ones.
+func (l *Link) replayPenalty(n int) sim.Time {
+	if l.flt == nil {
+		return 0
+	}
+	r := l.flt.Hit(fault.PCIeXfer, l.Name, l.env.Now())
+	if r == nil {
+		return 0
+	}
+	extra := sim.Time(r.Duration)
+	if extra <= 0 {
+		extra = defaultReplayLatency
+	}
+	if l.tr != nil {
+		l.tr.Emit(l.env.Now(), "fault", "pcie-replay", uint64(n), uint64(extra), l.Name)
+	}
+	return extra
+}
 
 // DMATarget is anything that accepts inbound memory TLPs: a root complex
 // backed by host DRAM, or a bridge that rewrites and forwards them. Both
@@ -182,7 +222,7 @@ func (pt *Port) DMAWrite(addr uint64, n int, data []byte) sim.Time {
 	pt.link.mUp.AddAt(int64(pt.env.Now()), uint64(WireBytes(n)))
 	wire := pt.link.toHost.Reserve(WireBytes(n))
 	up := pt.upstream.DMAWrite(addr, n, data)
-	return maxTime(wire, up) + pt.link.Latency
+	return maxTime(wire, up) + pt.link.Latency + pt.link.replayPenalty(n)
 }
 
 // DMARead fetches memory from upstream: a small request TLP travels up and
@@ -193,7 +233,7 @@ func (pt *Port) DMARead(addr uint64, n int, buf []byte) sim.Time {
 	pt.link.mDown.AddAt(int64(pt.env.Now()), uint64(WireBytes(n)))
 	wire := pt.link.toDev.Reserve(WireBytes(n))
 	// Request travels up (one latency), data comes back down (another).
-	return maxTime(wire, up) + 2*pt.link.Latency
+	return maxTime(wire, up) + 2*pt.link.Latency + pt.link.replayPenalty(n)
 }
 
 // RaiseIRQ signals an MSI-style interrupt for function fn after the wire

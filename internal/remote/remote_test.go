@@ -18,7 +18,11 @@ func remoteTestbed(net remote.NetProfile) *bmstore.Testbed {
 	c.SSDWithEnv = func(e *sim.Env, i int) ssd.Config {
 		return remote.BackendConfig(e, "RMT00001", ssd.P4510("RMT00001"), net)
 	}
-	return bmstore.NewBMStoreTestbed(c)
+	tb, err := bmstore.NewBMStoreTestbed(c)
+	if err != nil {
+		panic(err)
+	}
+	return tb
 }
 
 func runCase(t *testing.T, tb *bmstore.Testbed, spec fio.Spec) *fio.Result {
@@ -89,7 +93,10 @@ func TestRemoteDataIntegrity(t *testing.T) {
 	c.SSDWithEnv = func(e *sim.Env, i int) ssd.Config {
 		return remote.BackendConfig(e, "RMT00001", ssd.P4510("RMT00001"), remote.RDMA())
 	}
-	tb := bmstore.NewBMStoreTestbed(c)
+	tb, err := bmstore.NewBMStoreTestbed(c)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tb.Run(func(p *sim.Proc) {
 		tb.Console.CreateNamespace(p, "rvol", 128<<30, []int{0})
 		tb.Console.Bind(p, "rvol", 0)

@@ -22,7 +22,11 @@ func hddTestbed() (*bmstore.Testbed, *sata.Media) {
 		media = m
 		return sc
 	}
-	return bmstore.NewBMStoreTestbed(c), media
+	tb, err := bmstore.NewBMStoreTestbed(c)
+	if err != nil {
+		panic(err)
+	}
+	return tb, media
 }
 
 func TestHDDBehindEngineIsTransparent(t *testing.T) {
@@ -101,7 +105,10 @@ func TestMixedFlashAndSATABackends(t *testing.T) {
 		sc, _ := sata.BridgeConfig(e, "HDD00001", sata.Enterprise7200())
 		return sc
 	}
-	tb := bmstore.NewBMStoreTestbed(c)
+	tb, err := bmstore.NewBMStoreTestbed(c)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tb.Run(func(p *sim.Proc) {
 		tb.Console.CreateNamespace(p, "hot", 64<<30, []int{0})
 		tb.Console.CreateNamespace(p, "cold", 512<<30, []int{1})

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bmstore/internal/fault"
 	"bmstore/internal/obs"
 	"bmstore/internal/trace"
 )
@@ -51,6 +52,7 @@ type Env struct {
 	seed    int64
 	procSeq uint64
 	tracer  *trace.Tracer
+	faults  *fault.Injector
 
 	// met is the metrics registry; the kernel counters below are cached
 	// instrument pointers (nil when metrics are off, making each
@@ -106,6 +108,18 @@ func (e *Env) SetMetrics(m *obs.Registry) {
 
 // Metrics returns the attached registry, or nil when metrics are off.
 func (e *Env) Metrics() *obs.Registry { return e.met }
+
+// SetFaults attaches a fault injector to the environment. Model components
+// cache the pointer at their injection points during construction — the
+// same discipline as the tracer and metrics registry — so attach the
+// injector before building anything on the environment. A nil injector (the
+// default) costs one pointer compare per potential injection point. The
+// injector is stateful and belongs to exactly this environment; build a
+// fresh one per rig from a shared rule list.
+func (e *Env) SetFaults(in *fault.Injector) { e.faults = in }
+
+// Faults returns the attached fault injector, or nil when injection is off.
+func (e *Env) Faults() *fault.Injector { return e.faults }
 
 // scheduled is an entry in the event queue. Exactly one of fn and ev is set:
 // fn is the Schedule fast path (a bare callback with no Event allocated),

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"strings"
 
+	"bmstore/internal/fault"
 	"bmstore/internal/nvme"
 	"bmstore/internal/sim"
 )
@@ -15,6 +16,20 @@ const adminLatency = 5 * sim.Microsecond
 // execAdmin handles one admin command and returns (DW0 result, status).
 func (d *SSD) execAdmin(p *sim.Proc, cmd nvme.Command) (uint32, nvme.Status) {
 	p.Sleep(adminLatency)
+	// Injected admin failure (firmware bugs, bring-up flakes): the command
+	// completes with the rule's status instead of executing.
+	if d.flt != nil {
+		if r := d.flt.Hit(fault.SSDAdmin, d.cfg.Serial, p.Now()); r != nil {
+			st := nvme.Status(r.Status)
+			if st == nvme.StatusSuccess {
+				st = nvme.StatusInternal
+			}
+			if d.tr != nil {
+				d.tr.Emit(p.Now(), "fault", "admin", uint64(cmd.Opcode), uint64(st), d.cfg.Serial)
+			}
+			return 0, st
+		}
+	}
 	switch cmd.Opcode {
 	case nvme.AdminIdentify:
 		return 0, d.adminIdentify(p, cmd)

@@ -52,6 +52,24 @@ func (d *SSD) execIO(p *sim.Proc, sqID uint16, cmd nvme.Command) nvme.Status {
 	if d.tr != nil {
 		d.tr.Emit(start, "ssd", "issue", uint64(cmd.Opcode)<<56|devByte, uint64(n), d.cfg.Serial)
 	}
+	// Injected media fault on the read path: a latency spike (Duration),
+	// an unrecoverable/transient status (Status), or both. The die is the
+	// one serving the operation's first stripe, so die-targeted rules model
+	// a single failing NAND package.
+	if d.flt != nil && cmd.Opcode == nvme.IORead {
+		die := int(devByte / uint64(d.cfg.StripeBytes) % uint64(d.cfg.Dies))
+		if r := d.flt.HitMedia(d.cfg.Serial, die, p.Now()); r != nil {
+			if d.tr != nil {
+				d.tr.Emit(p.Now(), "fault", "media", uint64(die)<<16|uint64(r.Status), uint64(r.Duration), d.cfg.Serial)
+			}
+			if r.Duration > 0 {
+				p.Sleep(sim.Time(r.Duration))
+			}
+			if r.Status != 0 {
+				return nvme.Status(r.Status)
+			}
+		}
+	}
 	var media sim.Time
 	if cmd.Opcode == nvme.IORead {
 		media = d.doRead(p, devByte, segs, n)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"bmstore/internal/fault"
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
 	"bmstore/internal/pcie"
@@ -144,9 +145,15 @@ type SSD struct {
 	cfg  Config
 	port *pcie.Port
 	tr   *trace.Tracer
+	// flt is the rig's fault injector, cached at construction (nil when
+	// injection is off). Fault rules target this device by its serial.
+	flt *fault.Injector
 
 	ready     bool
 	resetting bool
+	// dropped latches once a fault.SSDDrop rule arms: the device has been
+	// surprise-removed and never answers again.
+	dropped bool
 
 	regASQ, regACQ, regAQA uint64
 
@@ -194,6 +201,7 @@ func New(env *sim.Env, cfg Config) *SSD {
 		env:        env,
 		cfg:        cfg,
 		tr:         env.Tracer(),
+		flt:        env.Faults(),
 		sqs:        make(map[uint16]*subQueue),
 		cqs:        make(map[uint16]*compQueue),
 		nss:        make(map[uint32]*namespace),
@@ -240,8 +248,26 @@ func (d *SSD) FirmwareVersion() string { return d.fwActive }
 // Upgrades returns how many firmware activations the device has performed.
 func (d *SSD) Upgrades() int { return d.upgrades }
 
-// Ready reports whether the controller is enabled and not resetting.
-func (d *SSD) Ready() bool { return d.ready && !d.resetting }
+// Ready reports whether the controller is enabled, not resetting, and not
+// surprise-removed.
+func (d *SSD) Ready() bool { return d.ready && !d.resetting && !d.gone() }
+
+// gone reports whether the device has been surprise-removed by a
+// fault.SSDDrop rule, latching the state on first observation. Once gone,
+// the device behaves like an empty slot: doorbells are lost, SQE fetch
+// stops, and completions never post.
+func (d *SSD) gone() bool {
+	if d.dropped {
+		return true
+	}
+	if d.flt != nil && d.flt.Dropped(d.cfg.Serial, d.env.Now()) {
+		d.dropped = true
+		if d.tr != nil {
+			d.tr.Emit(d.env.Now(), "fault", "ssd-drop", 0, 0, d.cfg.Serial)
+		}
+	}
+	return d.dropped
+}
 
 // Namespaces returns the active namespace IDs in ascending order.
 func (d *SSD) Namespaces() []uint32 {
@@ -306,7 +332,7 @@ func (d *SSD) disable() {
 }
 
 func (d *SSD) doorbell(qid uint16, isCQ bool, val uint32) {
-	if !d.ready || d.resetting {
+	if !d.ready || d.resetting || d.gone() {
 		return // doorbells to a dead controller are lost, as on hardware
 	}
 	if isCQ {
@@ -333,8 +359,19 @@ func (d *SSD) doorbell(qid uint16, isCQ bool, val uint32) {
 func (d *SSD) fetchLoop(p *sim.Proc, sq *subQueue) {
 	defer func() { sq.fetching = false }()
 	for sq.head != sq.tail {
-		if d.resetting || !d.ready {
+		if d.resetting || !d.ready || d.gone() {
 			return
+		}
+		// Injected controller stall: the fetch engine freezes until the
+		// window ends (commands already executing are unaffected).
+		if d.flt != nil {
+			if end := d.flt.StallUntil(fault.SSDStall, d.cfg.Serial, p.Now()); end > p.Now() {
+				if d.tr != nil {
+					d.tr.Emit(p.Now(), "fault", "ssd-stall", uint64(sq.id), uint64(end-p.Now()), d.cfg.Serial)
+				}
+				p.Sleep(end - p.Now())
+				continue // re-check liveness after the stall
+			}
 		}
 		var buf [nvme.SQESize]byte
 		done := d.port.DMARead(sq.ring.SlotAddr(sq.head), nvme.SQESize, buf[:])
@@ -365,6 +402,9 @@ func (d *SSD) exec(p *sim.Proc, sq *subQueue, cmd nvme.Command, sqHead uint32) {
 // postCQE writes the completion into the CQ ring upstream and raises the
 // interrupt for it.
 func (d *SSD) postCQE(cqid uint16, cpl nvme.Completion) {
+	if d.gone() {
+		return // a removed device posts nothing; the command is lost
+	}
 	cq, ok := d.cqs[cqid]
 	if !ok {
 		return

@@ -163,7 +163,7 @@ func hotPlugBody() bmstore.Scenario {
 			if err := tb.Console.HotPlugPrepare(p, 1); err != nil {
 				panic(err)
 			}
-			newDev, link := tb.NewSSD("REPLACEMENT")
+			newDev, link := tb.NewSSD(ssd.P4510("REPLACEMENT"))
 			if err := tb.Controller.PhysicalSwap(p, 1, newDev, link); err != nil {
 				panic(err)
 			}

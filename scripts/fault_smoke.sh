@@ -1,0 +1,31 @@
+#!/bin/sh
+# CI smoke for the fault-injection subsystem: run fiosim with injected
+# faults (an SSD controller stall plus recurring slow media reads) twice,
+# serial and parallel. The run must complete — the host driver's
+# timeout/abort/retry machinery absorbs every fault — report a nonzero
+# injected count, and print byte-identical results and trace digests for
+# any -parallel value.
+set -e
+
+SPEC='ssd-stall,t=10ms,dur=8ms;media-slow,nth=50,count=-1,dur=1ms'
+ARGS="-scheme bmstore -rw randrw -iodepth 8 -numjobs 2 -runtime 30ms -runs 2 -trace-digest"
+
+out_serial=$(go run ./cmd/fiosim $ARGS -faults "$SPEC" -parallel 1 2>/dev/null)
+out_parallel=$(go run ./cmd/fiosim $ARGS -faults "$SPEC" -parallel 2 2>/dev/null)
+
+if [ "$out_serial" != "$out_parallel" ]; then
+	echo "faulted runs diverge between -parallel 1 and -parallel 2:" >&2
+	echo "--- serial ---" >&2
+	echo "$out_serial" >&2
+	echo "--- parallel ---" >&2
+	echo "$out_parallel" >&2
+	exit 1
+fi
+
+echo "$out_serial"
+
+if ! echo "$out_serial" | grep -Eq 'faults +: [1-9][0-9]* injected'; then
+	echo "expected a nonzero injected-fault count" >&2
+	exit 1
+fi
+echo "fault smoke OK"
