@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-runner lint determinism fault-smoke bench-smoke bench-gate flaky
+.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke bench-smoke bench-gate flaky
 
 all: build test
 
@@ -38,6 +38,15 @@ determinism:
 # byte-identical between serial and parallel execution.
 fault-smoke:
 	sh scripts/fault_smoke.sh
+
+# Chaos-campaign smoke: a fixed-seed campaign of generated fault schedules
+# under a write-then-verify workload must come back green (no data-integrity
+# or CID-accounting invariant violated), catch at least one injected hazard,
+# and stay byte-identical between serial and parallel execution. Failing
+# seeds are printed with their copy-pasteable `fiosim -chaos <seed>,1`
+# replay.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 # One iteration of every benchmark — catches bit-rot in benchmark code and
 # gives a cheap overhead spot-check without a full measurement run.

@@ -100,6 +100,9 @@ func (c *Config) Validate() error {
 	if c.Kernel == (host.KernelProfile{}) {
 		return fmt.Errorf("bmstore: config needs a kernel profile (e.g. host.CentOS)")
 	}
+	if fault.HasDataHazards(c.Faults) && !c.CaptureData {
+		return fmt.Errorf("bmstore: fault schedule contains data-hazard rules (media-corrupt/torn-write/misdirected-read) but Config.CaptureData is off — no payload bytes exist to damage or verify, so the rules would be inert; set CaptureData: true")
+	}
 	return nil
 }
 
@@ -250,6 +253,19 @@ func (tb *Testbed) Run(fn func(p *sim.Proc)) {
 	main := tb.Env.Go("main", fn)
 	tb.Env.RunUntilEvent(main.Done())
 	tb.Env.Shutdown()
+}
+
+// RunWatched is Run under a liveness watchdog: if fn has not returned by
+// virtual time horizon, or the rig deadlocks with fn still blocked, the run
+// stops and the kernel's structured Diagnosis is returned instead of a
+// hang. A nil return means fn completed. Chaos campaigns use this so an
+// injected-fault combination that wedges the data path becomes a reported
+// invariant violation, not a stuck test.
+func (tb *Testbed) RunWatched(fn func(p *sim.Proc), horizon sim.Time) *sim.Diagnosis {
+	main := tb.Env.Go("main", fn)
+	_, diag := tb.Env.RunUntilEventWatched(main.Done(), horizon)
+	tb.Env.Shutdown()
+	return diag
 }
 
 // Go starts a concurrent simulation process (call within Run's function or

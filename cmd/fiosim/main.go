@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,10 +54,15 @@ func main() {
 	traceDigest := flag.Bool("trace-digest", false, "compute and print each run's determinism digest")
 	traceSHA := flag.Bool("trace-sha256", false, "use SHA-256 for the digest instead of the fast 64-bit digest")
 	faults := flag.String("faults", "", "fault-injection spec, e.g. 'ssd-stall,t=20ms,dur=10ms;media-slow,nth=100,count=-1,dur=2ms' (enables driver timeout/retry recovery)")
+	chaosSpec := flag.String("chaos", "", "run a chaos campaign instead of a workload: 'seed,count' (e.g. '1,20'; count defaults to 1) — seeded fault schedules under a write-then-verify workload, exit 1 on any invariant violation")
 	metricsOn := flag.Bool("metrics", false, "collect metrics and print the per-component summary")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, otherwise JSON; - for stdout)")
 	breakdown := flag.Bool("breakdown", false, "print the per-stage request latency breakdown table")
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		os.Exit(runChaos(*chaosSpec, *parallel))
+	}
 
 	var pat fio.Pattern
 	switch *rw {
@@ -213,6 +219,41 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runChaos parses "seed,count" and runs the chaos campaign: count seeded
+// fault schedules (seed, seed+1, …), each on a fresh rig under the
+// write-then-verify workload, with the invariant checker's verdict per run.
+// A failing seed's report line comes with the exact replay invocation.
+func runChaos(spec string, parallel int) int {
+	parts := strings.Split(spec, ",")
+	if len(parts) > 2 {
+		fmt.Fprintf(os.Stderr, "-chaos wants 'seed,count', got %q\n", spec)
+		return 2
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-chaos seed %q: %v\n", parts[0], err)
+		return 2
+	}
+	count := 1
+	if len(parts) == 2 {
+		if count, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil || count < 1 {
+			fmt.Fprintf(os.Stderr, "-chaos count %q must be a positive integer\n", parts[1])
+			return 2
+		}
+	}
+	start := time.Now()
+	c := bmstore.RunChaosCampaign(bmstore.ChaosOptions{
+		Seed: seed, Runs: count, Parallel: parallel,
+	})
+	c.WriteReport(os.Stdout)
+	fmt.Fprintf(os.Stderr, "(%d chaos runs in %.1fs wall, parallel=%d)\n",
+		count, time.Since(start).Seconds(), parallel)
+	if !c.OK() {
+		return 1
+	}
+	return 0
 }
 
 // writeMetrics exports the metrics set to path: CSV when the name ends in

@@ -49,6 +49,20 @@ const (
 	// BackendSubmit is a window during which the engine's backend
 	// submitter for the target SSD stalls before pushing commands.
 	BackendSubmit
+	// MediaCorrupt fires on NVM read commands inside the SSD: the payload
+	// returned over DMA has a byte flipped — the command still completes
+	// with success, modelling silent media corruption past the device's
+	// ECC. Data-hazard point: it needs ssd.Config.CaptureData to bite.
+	MediaCorrupt
+	// WriteTorn fires on NVM write commands inside the SSD: only the
+	// first half of the payload reaches the media, yet the command
+	// completes with success — an acknowledged-but-torn write (power-cut
+	// tearing past the capacitor-backed cache). Data-hazard point.
+	WriteTorn
+	// ReadMisdirect fires on NVM read commands inside the SSD: the data
+	// returned comes from the neighbouring LBA (an FTL mapping slip), the
+	// status is success, and timing is untouched. Data-hazard point.
+	ReadMisdirect
 	numPoints
 )
 
@@ -69,8 +83,36 @@ func (pt Point) String() string {
 		return "mctp-drop"
 	case BackendSubmit:
 		return "backend-stall"
+	case MediaCorrupt:
+		return "media-corrupt"
+	case WriteTorn:
+		return "torn-write"
+	case ReadMisdirect:
+		return "misdirected-read"
 	}
 	return "?"
+}
+
+// DataHazard reports whether the point silently damages payload bytes
+// instead of surfacing as a status error, stall, or drop. Data-hazard
+// rules only bite when the rig captures real data (ssd.Config.CaptureData),
+// so configurations are validated up front rather than vacuously passing.
+func (pt Point) DataHazard() bool {
+	switch pt {
+	case MediaCorrupt, WriteTorn, ReadMisdirect:
+		return true
+	}
+	return false
+}
+
+// HasDataHazards reports whether any rule in the set is a data-hazard rule.
+func HasDataHazards(rules []Rule) bool {
+	for _, r := range rules {
+		if r.Point.DataHazard() {
+			return true
+		}
+	}
+	return false
 }
 
 // Rule is one declarative fault. The zero values of the optional fields
@@ -122,6 +164,7 @@ func (r *ruleState) exhausted() bool {
 type Injector struct {
 	rules    []*ruleState
 	injected uint64
+	firedBy  [numPoints]uint64
 }
 
 // New builds an injector over a copy of rules.
@@ -165,6 +208,7 @@ func (in *Injector) hit(pt Point, target string, die int, now int64) *Rule {
 		}
 		r.fired++
 		in.injected++
+		in.firedBy[pt]++
 		if out == nil { // first matching rule wins; later ones still count ops
 			out = &r.Rule
 		}
@@ -205,6 +249,7 @@ func (in *Injector) StallUntil(pt Point, target string, now int64) int64 {
 		if r.fired == 0 {
 			r.fired++
 			in.injected++
+			in.firedBy[pt]++
 		}
 		if we > end {
 			end = we
@@ -226,6 +271,7 @@ func (in *Injector) Dropped(target string, now int64) bool {
 		if r.fired == 0 {
 			r.fired++
 			in.injected++
+			in.firedBy[SSDDrop]++
 		}
 		return true
 	}
@@ -238,6 +284,17 @@ func (in *Injector) Injected() uint64 {
 		return 0
 	}
 	return in.injected
+}
+
+// InjectedBy returns how many faults have fired at one injection point.
+// The per-point split is what lets a chaos invariant checker demand "a
+// fired media-corrupt rule must produce a corrupt-read-back violation"
+// without parsing the trace.
+func (in *Injector) InjectedBy(pt Point) uint64 {
+	if in == nil || pt >= numPoints {
+		return 0
+	}
+	return in.firedBy[pt]
 }
 
 // Rules returns a copy of the configured rules (without firing state).

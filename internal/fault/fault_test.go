@@ -1,6 +1,9 @@
 package fault
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestHitNthAndCount(t *testing.T) {
 	in := New(Rule{Point: SSDAdmin, Target: "S1", Nth: 3, Count: 2, Status: 0x06})
@@ -191,5 +194,109 @@ func TestParseSpecDefaultsAndErrors(t *testing.T) {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Fatalf("spec %q should not parse", bad)
 		}
+	}
+}
+
+func TestParseSpecFailuresNameOffendingToken(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want []string // substrings the error must contain
+	}{
+		{"empty", "", []string{"empty spec", "kind"}},
+		{"only separators", " ; ;", []string{"empty spec"}},
+		{"unknown kind", "warp-core-breach,t=1ms", []string{`"warp-core-breach"`, "valid kinds", "media-corrupt", "torn-write"}},
+		{"unknown field", "media-err,volume=11", []string{`"volume"`, "valid fields", "target"}},
+		{"bare field", "ssd-drop,t", []string{`"t"`, "key=value"}},
+		{"bad duration t", "ssd-stall,t=20x", []string{`"t"`, `"20x"`}},
+		{"bad duration dur", "media-slow,dur=fast", []string{`"dur"`, `"fast"`}},
+		{"bad nth", "media-err,nth=-3", []string{`"nth"`, `"-3"`}},
+		{"bad count", "media-err,count=many", []string{`"count"`, `"many"`}},
+		{"bad status", "admin-err,status=0xZZ", []string{`"status"`, `"0xZZ"`}},
+		{"status overflow", "admin-err,status=0x10000", []string{`"status"`, `"0x10000"`}},
+		{"bad die", "media-err,die=north", []string{`"die"`, `"north"`}},
+		{"error in second rule", "media-err;torn-write,t=oops", []string{`"torn-write,t=oops"`, `"oops"`}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.spec)
+			if err == nil {
+				t.Fatalf("spec %q should not parse", tc.spec)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q does not name token %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestParseSpecDataHazardKinds(t *testing.T) {
+	rules, err := ParseSpec("media-corrupt,t=2ms,target=CH0;torn-write,nth=5;misdirected-read,count=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Point{MediaCorrupt, WriteTorn, ReadMisdirect}
+	for i, pt := range want {
+		if rules[i].Point != pt {
+			t.Fatalf("rule %d point = %v, want %v", i, rules[i].Point, pt)
+		}
+	}
+	if rules[0].At != 2_000_000 || rules[0].Target != "CH0" {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if !HasDataHazards(rules) {
+		t.Fatal("HasDataHazards should report true")
+	}
+	benign, err := ParseSpec("media-err;ssd-stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasDataHazards(benign) {
+		t.Fatal("HasDataHazards should report false for benign rules")
+	}
+	for _, pt := range []Point{MediaCorrupt, WriteTorn, ReadMisdirect} {
+		if !pt.DataHazard() {
+			t.Fatalf("%v should be a data hazard", pt)
+		}
+	}
+	for _, pt := range []Point{SSDMediaRead, SSDDrop, PCIeXfer} {
+		if pt.DataHazard() {
+			t.Fatalf("%v should not be a data hazard", pt)
+		}
+	}
+}
+
+func TestInjectedBy(t *testing.T) {
+	in := New(
+		Rule{Point: MediaCorrupt, Count: 2},
+		Rule{Point: WriteTorn},
+		Rule{Point: SSDStall, At: 0, Duration: 10},
+		Rule{Point: SSDDrop, Target: "S1"},
+	)
+	in.Hit(MediaCorrupt, "S1", 0)
+	in.Hit(MediaCorrupt, "S1", 0)
+	in.Hit(MediaCorrupt, "S1", 0) // exhausted, no count
+	in.Hit(WriteTorn, "S1", 0)
+	in.StallUntil(SSDStall, "S1", 5)
+	in.Dropped("S1", 0)
+	checks := []struct {
+		pt   Point
+		want uint64
+	}{
+		{MediaCorrupt, 2}, {WriteTorn, 1}, {SSDStall, 1}, {SSDDrop, 1}, {ReadMisdirect, 0},
+	}
+	for _, c := range checks {
+		if got := in.InjectedBy(c.pt); got != c.want {
+			t.Fatalf("InjectedBy(%v) = %d, want %d", c.pt, got, c.want)
+		}
+	}
+	if in.Injected() != 5 {
+		t.Fatalf("Injected = %d, want 5", in.Injected())
+	}
+	var nilIn *Injector
+	if nilIn.InjectedBy(MediaCorrupt) != 0 {
+		t.Fatal("nil injector InjectedBy should be 0")
 	}
 }

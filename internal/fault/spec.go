@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -14,8 +15,9 @@ import (
 //	kind[,t=20ms][,dur=5ms][,nth=50][,count=3][,target=PHLJ0000][,status=0x82][,die=7]
 //
 // Kinds: media-err, media-slow, admin-err, ssd-stall, ssd-drop,
-// pcie-replay, mctp-drop, backend-stall. Times (t, dur) use Go duration
-// syntax and are virtual time; status accepts decimal or 0x-hex.
+// pcie-replay, mctp-drop, backend-stall, media-corrupt, torn-write,
+// misdirected-read. Times (t, dur) use Go duration syntax and are virtual
+// time; status accepts decimal or 0x-hex.
 //
 // Example — drop SSD PHLJ0000 20 ms in, and make every 100th media read on
 // any drive take an extra 2 ms:
@@ -35,7 +37,7 @@ func ParseSpec(spec string) ([]Rule, error) {
 		rules = append(rules, r)
 	}
 	if len(rules) == 0 {
-		return nil, fmt.Errorf("fault: empty spec")
+		return nil, fmt.Errorf("fault: empty spec (want semicolon-separated rules, each \"kind[,key=value...]\")")
 	}
 	return rules, nil
 }
@@ -50,13 +52,29 @@ var specKinds = map[string]Rule{
 	"pcie-replay":   {Point: PCIeXfer},
 	"mctp-drop":     {Point: MCTPRx},
 	"backend-stall": {Point: BackendSubmit, Duration: int64(5 * time.Millisecond)},
+	// Data-hazard kinds: the command succeeds but the payload is damaged.
+	// They require the rig to capture real data (ssd.Config.CaptureData).
+	"media-corrupt":    {Point: MediaCorrupt},
+	"torn-write":       {Point: WriteTorn},
+	"misdirected-read": {Point: ReadMisdirect},
+}
+
+// validKinds returns the spec kinds sorted, for error messages.
+func validKinds() string {
+	kinds := make([]string, 0, len(specKinds))
+	for k := range specKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return strings.Join(kinds, ", ")
 }
 
 func parseRule(s string) (Rule, error) {
 	fields := strings.Split(s, ",")
-	r, ok := specKinds[strings.TrimSpace(fields[0])]
+	kind := strings.TrimSpace(fields[0])
+	r, ok := specKinds[kind]
 	if !ok {
-		return Rule{}, fmt.Errorf("unknown kind %q", fields[0])
+		return Rule{}, fmt.Errorf("unknown kind %q (valid kinds: %s)", kind, validKinds())
 	}
 	for _, f := range fields[1:] {
 		f = strings.TrimSpace(f)
@@ -93,10 +111,10 @@ func parseRule(s string) (Rule, error) {
 		case "die":
 			r.Die, err = strconv.Atoi(v)
 		default:
-			return Rule{}, fmt.Errorf("unknown field %q", k)
+			return Rule{}, fmt.Errorf("unknown field %q (valid fields: t, dur, nth, count, target, status, die)", k)
 		}
 		if err != nil {
-			return Rule{}, fmt.Errorf("field %q: %w", f, err)
+			return Rule{}, fmt.Errorf("field %q: bad value %q: %w", k, v, err)
 		}
 	}
 	return r, nil

@@ -1,0 +1,259 @@
+package fio
+
+import (
+	"bytes"
+	"fmt"
+
+	"bmstore/internal/chaos"
+	"bmstore/internal/host"
+	"bmstore/internal/sim"
+)
+
+// VerifySpec describes one write-then-verify workload: prefill a region with
+// tagged payloads, churn it with depth-1 read/write workers, then sweep the
+// whole region and check every block against the chaos oracle.
+type VerifySpec struct {
+	Name string
+	// RegionBlocks is the verified LBA region [0, RegionBlocks), partitioned
+	// between workers (default 128). The two probe blocks live at
+	// RegionBlocks and RegionBlocks+1, so devices must hold at least
+	// RegionBlocks+2 blocks.
+	RegionBlocks uint64
+	Workers      int // concurrent depth-1 workers (default 2)
+	OpsPerWorker int // churn operations per worker (default 32)
+	WriteRatio   int // percent of churn ops that write (default 50)
+
+	PrefillBlocks int // blocks per prefill write (default 4)
+	SweepBlocks   int // blocks per sweep read (default 8)
+
+	// Grace is the quiet period between churn and sweep, letting timed-out
+	// commands' stragglers drain so the final read-back and the driver's CID
+	// books are both settled (default 50ms).
+	Grace sim.Time
+}
+
+// VerifyResult tallies the workload's acknowledged operations and errors.
+// Integrity verdicts live in the oracle, not here.
+type VerifyResult struct {
+	Writes    uint64 // cleanly acknowledged writes
+	Reads     uint64 // cleanly completed (and verified) reads
+	WriteErrs uint64 // writes that failed with a determinate error
+	ReadErrs  uint64 // reads that failed with a determinate error
+}
+
+// RunVerify executes the verify workload against the devices, feeding every
+// operation through the oracle. Worker w uses devs[w%len(devs)] and owns an
+// exclusive slice of the region, so no LBA ever has two concurrent
+// operations — the invariant the oracle's bookkeeping depends on.
+//
+// It fails fast — before any fault can arm — when the rig cannot support
+// verification at all: devices that don't report per-I/O outcomes, or a rig
+// built without payload capture (ssd.Config.CaptureData off), where every
+// read returns zeros and the oracle would drown in false losses.
+func RunVerify(p *sim.Proc, devs []host.BlockDevice, spec VerifySpec, o *chaos.Oracle) (*VerifyResult, error) {
+	if spec.RegionBlocks == 0 {
+		spec.RegionBlocks = 128
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = 2
+	}
+	if spec.OpsPerWorker <= 0 {
+		spec.OpsPerWorker = 32
+	}
+	if spec.WriteRatio <= 0 {
+		spec.WriteRatio = 50
+	}
+	if spec.PrefillBlocks <= 0 {
+		spec.PrefillBlocks = 4
+	}
+	if spec.SweepBlocks <= 0 {
+		spec.SweepBlocks = 8
+	}
+	if spec.Grace <= 0 {
+		spec.Grace = 50 * sim.Millisecond
+	}
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("fio: verify %q: no devices", spec.Name)
+	}
+	bs := devs[0].BlockSize()
+	outs := make([]host.OutcomeBlockDevice, len(devs))
+	for i, d := range devs {
+		od, ok := d.(host.OutcomeBlockDevice)
+		if !ok {
+			return nil, fmt.Errorf("fio: verify %q: device %d (%T) does not report per-I/O outcomes (host.OutcomeBlockDevice) — the oracle cannot tell failed writes from indeterminate ones", spec.Name, i, d)
+		}
+		if d.BlockSize() != bs {
+			return nil, fmt.Errorf("fio: verify %q: device %d block size %d != %d", spec.Name, i, d.BlockSize(), bs)
+		}
+		if d.CapacityBlocks() < spec.RegionBlocks+2 {
+			return nil, fmt.Errorf("fio: verify %q: device %d holds %d blocks, region wants %d+probes", spec.Name, i, d.CapacityBlocks(), spec.RegionBlocks)
+		}
+		outs[i] = od
+	}
+	span := spec.RegionBlocks / uint64(spec.Workers)
+	if span == 0 {
+		return nil, fmt.Errorf("fio: verify %q: region %d blocks too small for %d workers", spec.Name, spec.RegionBlocks, spec.Workers)
+	}
+	if err := probe(p, outs[0], spec, o.Seed(), bs); err != nil {
+		return nil, err
+	}
+
+	env := p.Env()
+	res := &VerifyResult{}
+	var done []*sim.Event
+	for w := 0; w < spec.Workers; w++ {
+		dev := outs[w%len(outs)]
+		base := uint64(w) * span
+		rng := env.Rand(fmt.Sprintf("chaos-verify/%s/w%d", spec.Name, w))
+		proc := env.Go(fmt.Sprintf("verify/%s/w%d", spec.Name, w), func(wp *sim.Proc) {
+			// Prefill the partition with multi-block tagged writes.
+			buf := make([]byte, spec.PrefillBlocks*bs)
+			for off := uint64(0); off < span; {
+				n := uint64(spec.PrefillBlocks)
+				if off+n > span {
+					n = span - off
+				}
+				lba := base + off
+				off += n
+				gen, ok := o.BeginWrite(lba, int(n))
+				if !ok {
+					continue
+				}
+				chunk := buf[:int(n)*bs]
+				o.FillPayload(chunk, lba, gen)
+				out := dev.WriteAtOutcome(wp, lba, uint32(n), chunk)
+				o.EndWrite(lba, int(n), gen, res.writeOutcome(out))
+			}
+			// Churn: depth-1 single-block ops over the partition.
+			one := buf[:bs]
+			for i := 0; i < spec.OpsPerWorker; i++ {
+				lba := base + uint64(rng.Int63n(int64(span)))
+				if rng.Intn(100) < spec.WriteRatio {
+					gen, ok := o.BeginWrite(lba, 1)
+					if !ok {
+						continue // wounded by an earlier indeterminate write
+					}
+					o.FillPayload(one, lba, gen)
+					out := dev.WriteAtOutcome(wp, lba, 1, one)
+					o.EndWrite(lba, 1, gen, res.writeOutcome(out))
+				} else {
+					zero(one)
+					res.read(o, "churn", lba, 1, one,
+						dev.ReadAtOutcome(wp, lba, 1, one))
+				}
+			}
+		})
+		done = append(done, proc.Done())
+	}
+	for _, ev := range done {
+		p.Wait(ev)
+	}
+
+	// Quiet period: let stragglers from timed-out commands land before the
+	// final verdicts are taken.
+	p.Sleep(spec.Grace)
+
+	// Sweep every partition from the device that wrote it.
+	sweep := make([]byte, spec.SweepBlocks*bs)
+	for w := 0; w < spec.Workers; w++ {
+		dev := outs[w%len(outs)]
+		base := uint64(w) * span
+		for off := uint64(0); off < span; {
+			n := uint64(spec.SweepBlocks)
+			if off+n > span {
+				n = span - off
+			}
+			lba := base + off
+			off += n
+			chunk := sweep[:int(n)*bs]
+			zero(chunk)
+			res.read(o, "sweep", lba, int(n), chunk,
+				dev.ReadAtOutcome(p, lba, uint32(n), chunk))
+		}
+	}
+	return res, nil
+}
+
+// probe writes one tagged block just past the verified region, then reads
+// the never-written block after it, then reads the written block back. A rig
+// that carries real payloads returns zeros for the virgin block and the tag
+// for the written one. A rig built without payload capture fails one of the
+// two reads: the driver recycles its per-slot DMA staging buffers, so the
+// virgin read either returns the probe write's residue (same slot — the
+// device never overwrote it) or the written block "reads back" as zeros
+// (another, still-virgin slot). probe runs before any generated fault rule
+// arms, so a failure here is a setup error, never an injected one.
+func probe(p *sim.Proc, dev host.OutcomeBlockDevice, spec VerifySpec, seed int64, bs int) error {
+	lba := spec.RegionBlocks
+	noCapture := fmt.Errorf("fio: verify %q: probe shows the rig is not carrying payload bytes — build it with ssd.Config.CaptureData (bmstore.Config.CaptureData) enabled", spec.Name)
+	want := make([]byte, bs)
+	chaos.FillBlock(want, seed, lba, ^uint64(0))
+	if out := dev.WriteAtOutcome(p, lba, 1, want); out.Status != 0 {
+		return fmt.Errorf("fio: verify %q: probe write failed: %v", spec.Name, out.Status)
+	}
+	got := make([]byte, bs)
+	if out := dev.ReadAtOutcome(p, lba+1, 1, got); out.Status != 0 {
+		return fmt.Errorf("fio: verify %q: probe read failed: %v", spec.Name, out.Status)
+	}
+	if !allZero(got) {
+		if bytes.Equal(got, want) {
+			return noCapture
+		}
+		return fmt.Errorf("fio: verify %q: never-written probe block reads back nonzero before any fault armed — the rig is miswired", spec.Name)
+	}
+	zero(got)
+	if out := dev.ReadAtOutcome(p, lba, 1, got); out.Status != 0 {
+		return fmt.Errorf("fio: verify %q: probe read failed: %v", spec.Name, out.Status)
+	}
+	if bytes.Equal(got, want) {
+		return nil
+	}
+	if allZero(got) {
+		return noCapture
+	}
+	return fmt.Errorf("fio: verify %q: probe read-back mismatch before any fault armed — the rig is miswired", spec.Name)
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// writeOutcome tallies one write completion and maps it to the oracle's
+// episode outcome: a timeout means the write may or may not have landed.
+func (r *VerifyResult) writeOutcome(out host.IOOutcome) chaos.WriteOutcome {
+	switch {
+	case out.TimedOut:
+		return chaos.WriteInDoubt
+	case out.Status != 0:
+		r.WriteErrs++
+		return chaos.WriteFailed
+	}
+	r.Writes++
+	return chaos.WriteAcked
+}
+
+// read tallies one read completion and verifies the payload when it is
+// determinate. A timed-out read leaves the buffer contents undefined (a
+// straggling DMA may land at any point), so it is neither checked nor
+// counted.
+func (r *VerifyResult) read(o *chaos.Oracle, phase string, lba uint64, blocks int, buf []byte, out host.IOOutcome) {
+	switch {
+	case out.TimedOut:
+	case out.Status != 0:
+		r.ReadErrs++
+	default:
+		r.Reads++
+		o.CheckRead(phase, lba, blocks, buf)
+	}
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

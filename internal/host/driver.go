@@ -78,9 +78,51 @@ type Driver struct {
 	admin  *dq
 	queues []*dq
 
+	ioc IOCounters
+
 	nsid     uint32
 	nsBlocks uint64
 	ident    nvme.IdentifyController
+}
+
+// IOCounters is the driver's CID accounting over its I/O queues (the admin
+// queue is excluded). At quiesce the books must balance: every submitted
+// attempt either completed to a waiter or timed out, every timed-out CID is
+// either reclaimed by its straggler CQE or still parked as a zombie, and no
+// CQE ever arrives for a CID nobody issued. A chaos invariant checker
+// asserts exactly that.
+type IOCounters struct {
+	Submitted  uint64 // I/O attempts rung in (including retries)
+	Completed  uint64 // CQEs delivered to a waiting attempt
+	Timeouts   uint64 // attempts abandoned after CmdTimeout
+	Aborts     uint64 // NVMe Aborts issued for timed-out CIDs
+	Retries    uint64 // re-submissions after a retryable failure
+	Stragglers uint64 // late CQEs that reclaimed a zombied CID
+	Spurious   uint64 // CQEs matching neither a waiter nor a zombie
+	// ZombiesLeft is the number of CIDs still parked on zombie lists —
+	// timed-out attempts whose straggler CQE never arrived.
+	ZombiesLeft int
+}
+
+// Counters snapshots the driver's I/O CID accounting.
+func (d *Driver) Counters() IOCounters {
+	c := d.ioc
+	for _, q := range d.queues {
+		c.ZombiesLeft += len(q.zombie)
+	}
+	return c
+}
+
+// IOOutcome describes how one driver-level I/O episode ended, across all
+// its retry attempts.
+type IOOutcome struct {
+	Status   nvme.Status
+	Attempts int // submission attempts made (1 = no retries)
+	// TimedOut reports that the episode ended without a completion in hand:
+	// the final attempt was abandoned on timeout, so the command's effect is
+	// indeterminate — a write may or may not have reached the media, and may
+	// still land later (the CID is zombied until its straggler CQE arrives).
+	TimedOut bool
 }
 
 // dq is one driver-side queue pair.
@@ -265,14 +307,25 @@ func (d *Driver) IRQ(vec int) {
 			d.mCQEs.Inc()
 		}
 		if ev := q.wait[cpl.CID]; ev != nil {
+			if q.id != 0 {
+				d.ioc.Completed++
+			}
 			delete(q.wait, cpl.CID)
 			ev.Trigger(cpl)
 		} else if q.zombie[cpl.CID] {
 			// Straggler completion for a timed-out command: nobody is
 			// waiting anymore, but the slot can go back into circulation.
+			if q.id != 0 {
+				d.ioc.Stragglers++
+			}
 			delete(q.zombie, cpl.CID)
 			q.free = append(q.free, cpl.CID)
 			q.slots.Release()
+		} else if q.id != 0 {
+			// A CQE for a CID nobody issued or already reaped: duplicate or
+			// fabricated completion. Nothing to deliver — just book it so
+			// the invariant checker can flag it.
+			d.ioc.Spurious++
 		}
 	}
 }
@@ -301,6 +354,14 @@ func (d *Driver) AdminCmd(p *sim.Proc, cmd nvme.Command) nvme.Completion {
 // buf, when non-nil, is copied to/from the slot's DMA buffer (real data
 // through the full path); nil keeps the transfer dataless.
 func (d *Driver) IO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte, qIdx int) nvme.Status {
+	return d.IOWithOutcome(p, op, lba, blocks, buf, qIdx).Status
+}
+
+// IOWithOutcome is IO plus the episode's recovery outcome — attempt count
+// and whether the episode ended indeterminate on a timeout. A verify
+// oracle needs that distinction: a clean error means the write did not
+// happen, a timed-out write may still land.
+func (d *Driver) IOWithOutcome(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte, qIdx int) IOOutcome {
 	nBytes := int(blocks) * nvme.LBASize
 	if op != nvme.IOFlush && nBytes > d.cfg.MaxIOBytes {
 		panic(fmt.Sprintf("host: %d-byte I/O exceeds driver max %d", nBytes, d.cfg.MaxIOBytes))
@@ -320,16 +381,17 @@ func (d *Driver) IO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte
 	for attempt := 0; ; attempt++ {
 		st, timedOut := d.ioAttempt(p, op, lba, blocks, buf, qIdx, spanT0)
 		if !timedOut && !st.IsError() {
-			return st
+			return IOOutcome{Status: st, Attempts: attempt + 1}
 		}
 		if retryable := timedOut || st.Retryable(); !retryable || attempt >= d.cfg.MaxRetries {
 			if timedOut {
 				// Retries exhausted with no completion in hand: the last
 				// attempt was aborted, so report it that way.
-				return nvme.StatusAborted
+				return IOOutcome{Status: nvme.StatusAborted, Attempts: attempt + 1, TimedOut: true}
 			}
-			return st
+			return IOOutcome{Status: st, Attempts: attempt + 1}
 		}
+		d.ioc.Retries++
 		d.mRetries.Inc()
 		if d.tr != nil {
 			d.tr.Emit(d.h.Env.Now(), "host", "retry",
@@ -361,6 +423,7 @@ func (d *Driver) ioAttempt(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf
 	q.slots.Acquire(p)
 	slot := q.free[len(q.free)-1]
 	q.free = q.free[:len(q.free)-1]
+	d.ioc.Submitted++
 
 	cmd := nvme.Command{Opcode: op, NSID: d.nsid, CID: slot}
 	if op != nvme.IOFlush {
@@ -402,6 +465,7 @@ func (d *Driver) ioAttempt(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf
 		if !ok {
 			delete(q.wait, cmd.CID)
 			q.zombie[cmd.CID] = true
+			d.ioc.Timeouts++
 			d.mTimeouts.Inc()
 			if d.tr != nil {
 				d.tr.Emit(d.h.Env.Now(), "host", "timeout",
@@ -443,6 +507,7 @@ func (d *Driver) ioAttempt(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf
 // if the device is too dead to even complete the abort, the admin slot
 // joins the zombie list too.
 func (d *Driver) abort(p *sim.Proc, sqid, cid uint16) {
+	d.ioc.Aborts++
 	d.mAborts.Inc()
 	q := d.admin
 	q.slots.Acquire(p)
@@ -473,10 +538,12 @@ func (d *Driver) abort(p *sim.Proc, sqid, cid uint16) {
 }
 
 // splitIO fans a large I/O out as concurrent split requests, the way the
-// block layer does when a request exceeds max_sectors_kb.
-func (d *Driver) splitIO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte, qIdx, splitBytes int) nvme.Status {
+// block layer does when a request exceeds max_sectors_kb. The merged
+// outcome keeps the first fragment error, the worst attempt count, and is
+// indeterminate if any fragment was.
+func (d *Driver) splitIO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte, qIdx, splitBytes int) IOOutcome {
 	splitBlocks := uint32(splitBytes / nvme.LBASize)
-	worst := nvme.StatusSuccess
+	worst := IOOutcome{Status: nvme.StatusSuccess}
 	var done []*sim.Event
 	for off := uint32(0); off < blocks; off += splitBlocks {
 		n := splitBlocks
@@ -489,8 +556,15 @@ func (d *Driver) splitIO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf [
 		}
 		off := off
 		proc := d.h.Env.Go("host/split", func(sp *sim.Proc) {
-			if st := d.IO(sp, op, lba+uint64(off), n, part, qIdx); st.IsError() && worst == nvme.StatusSuccess {
-				worst = st
+			oc := d.IOWithOutcome(sp, op, lba+uint64(off), n, part, qIdx)
+			if oc.Status.IsError() && worst.Status == nvme.StatusSuccess {
+				worst.Status = oc.Status
+			}
+			if oc.TimedOut {
+				worst.TimedOut = true
+			}
+			if oc.Attempts > worst.Attempts {
+				worst.Attempts = oc.Attempts
 			}
 		})
 		done = append(done, proc.Done())
@@ -528,6 +602,15 @@ func (d *Driver) BlockDev(queue int) BlockDevice {
 	return &nvmeBlockDev{d: d, q: queue}
 }
 
+// OutcomeBlockDevice is implemented by block devices that can report the
+// driver's per-I/O recovery outcome (attempts, indeterminacy) alongside
+// the transfer — what a verify oracle needs to track acks across retries.
+type OutcomeBlockDevice interface {
+	BlockDevice
+	ReadAtOutcome(p *sim.Proc, lba uint64, blocks uint32, buf []byte) IOOutcome
+	WriteAtOutcome(p *sim.Proc, lba uint64, blocks uint32, data []byte) IOOutcome
+}
+
 type nvmeBlockDev struct {
 	d *Driver
 	q int
@@ -547,6 +630,19 @@ func (b *nvmeBlockDev) WriteAt(p *sim.Proc, lba uint64, blocks uint32, data []by
 func (b *nvmeBlockDev) Flush(p *sim.Proc) error {
 	return statusErr(b.d.IO(p, nvme.IOFlush, 0, 0, nil, b.q))
 }
+
+// ReadAtOutcome is ReadAt with the driver's full recovery outcome.
+func (b *nvmeBlockDev) ReadAtOutcome(p *sim.Proc, lba uint64, blocks uint32, buf []byte) IOOutcome {
+	return b.d.IOWithOutcome(p, nvme.IORead, lba, blocks, buf, b.q)
+}
+
+// WriteAtOutcome is WriteAt with the driver's full recovery outcome.
+func (b *nvmeBlockDev) WriteAtOutcome(p *sim.Proc, lba uint64, blocks uint32, data []byte) IOOutcome {
+	return b.d.IOWithOutcome(p, nvme.IOWrite, lba, blocks, data, b.q)
+}
+
+// Counters exposes the backing driver's CID accounting.
+func (b *nvmeBlockDev) Counters() IOCounters { return b.d.Counters() }
 
 func (b *nvmeBlockDev) PerIOCPU() sim.Time {
 	c := b.d.h.Kernel.PerIOCPU

@@ -1,0 +1,154 @@
+package host_test
+
+import (
+	"testing"
+
+	"bmstore/internal/fault"
+	"bmstore/internal/host"
+	"bmstore/internal/nvme"
+	"bmstore/internal/pcie"
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+)
+
+// newFaultedRig is newNativeRig with a fault injector attached and the
+// driver's timeout/retry recovery armed.
+func newFaultedRig(t *testing.T, dcfg host.DriverConfig, rules ...fault.Rule) *nativeRig {
+	t.Helper()
+	env := sim.NewEnv(3)
+	env.SetFaults(fault.New(rules...))
+	h := host.New(env, 768<<30, host.CentOS("3.10.0"))
+	cfg := ssd.P4510("SN001")
+	dev := ssd.New(env, cfg)
+	link := pcie.NewLink(env, 4, 300*sim.Nanosecond)
+	port := h.Connect(link, dev, nil)
+	dev.Attach(port)
+
+	r := &nativeRig{env: env, h: h, dev: dev}
+	var err error
+	dcfg.CreateNSBlocks = cfg.CapacityBytes / ssd.BlockSize
+	done := env.Go("attach", func(p *sim.Proc) {
+		r.drv, err = host.AttachDriver(p, h, port, 0, dcfg)
+	})
+	env.Run()
+	if !done.Done().Processed() || err != nil {
+		t.Fatalf("driver attach: %v", err)
+	}
+	return r
+}
+
+func TestIOCountersCleanRun(t *testing.T) {
+	r := newNativeRig(t, host.CentOS("3.10.0"), nil, false)
+	r.env.Go("test", func(p *sim.Proc) {
+		bd := r.drv.BlockDev(0).(host.OutcomeBlockDevice)
+		for i := uint64(0); i < 8; i++ {
+			if oc := bd.WriteAtOutcome(p, i*8, 8, nil); oc.Status.IsError() || oc.Attempts != 1 || oc.TimedOut {
+				t.Fatalf("write outcome %+v", oc)
+			}
+		}
+		if oc := bd.ReadAtOutcome(p, 0, 8, nil); oc.Status.IsError() || oc.Attempts != 1 {
+			t.Fatalf("read outcome %+v", oc)
+		}
+	})
+	r.env.Run()
+	c := r.drv.Counters()
+	if c.Submitted != 9 || c.Completed != 9 {
+		t.Fatalf("submitted/completed = %d/%d, want 9/9", c.Submitted, c.Completed)
+	}
+	if c.Timeouts != 0 || c.Aborts != 0 || c.Retries != 0 || c.Stragglers != 0 || c.Spurious != 0 || c.ZombiesLeft != 0 {
+		t.Fatalf("clean run has fault counters: %+v", c)
+	}
+}
+
+func TestIOCountersAcrossRetries(t *testing.T) {
+	dcfg := host.DefaultDriverConfig()
+	dcfg.CmdTimeout = 3 * sim.Millisecond
+	dcfg.MaxRetries = 10
+	dcfg.RetryBackoff = 200 * sim.Microsecond
+	// Two retryable media errors back to back on the first reads.
+	r := newFaultedRig(t, dcfg,
+		fault.Rule{Point: fault.SSDMediaRead, Status: uint16(nvme.StatusInternal), Count: 2})
+	r.env.Go("test", func(p *sim.Proc) {
+		bd := r.drv.BlockDev(0).(host.OutcomeBlockDevice)
+		oc := bd.ReadAtOutcome(p, 0, 1, nil)
+		if oc.Status.IsError() || oc.TimedOut {
+			t.Fatalf("recovered read outcome %+v", oc)
+		}
+		if oc.Attempts != 3 {
+			t.Fatalf("attempts = %d, want 3 (two failures then success)", oc.Attempts)
+		}
+	})
+	r.env.Run()
+	c := r.drv.Counters()
+	if c.Submitted != 3 || c.Completed != 3 || c.Retries != 2 {
+		t.Fatalf("counters %+v, want 3 submitted / 3 completed / 2 retries", c)
+	}
+	if c.Submitted != c.Completed+c.Timeouts || c.Spurious != 0 || c.ZombiesLeft != 0 {
+		t.Fatalf("CID accounting does not balance: %+v", c)
+	}
+}
+
+func TestIOCountersTimeoutAndStraggler(t *testing.T) {
+	dcfg := host.DefaultDriverConfig()
+	dcfg.CmdTimeout = 1 * sim.Millisecond
+	dcfg.MaxRetries = 10
+	dcfg.RetryBackoff = 500 * sim.Microsecond
+	// The SSD stops fetching SQEs for 4 ms (armed after driver attach, which
+	// finishes ~115 µs in): attempts issued into the stall time out, their
+	// CIDs go zombie, and the stragglers arrive once the window ends.
+	r := newFaultedRig(t, dcfg,
+		fault.Rule{Point: fault.SSDStall, Target: "SN001", At: int64(200 * sim.Microsecond), Duration: int64(4 * sim.Millisecond)})
+	r.env.Go("test", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond) // land the submission inside the stall window
+		bd := r.drv.BlockDev(0).(host.OutcomeBlockDevice)
+		oc := bd.WriteAtOutcome(p, 0, 1, nil)
+		if oc.Status.IsError() || oc.TimedOut {
+			t.Fatalf("recovered write outcome %+v", oc)
+		}
+		if oc.Attempts < 2 {
+			t.Fatalf("attempts = %d, want a timeout before success", oc.Attempts)
+		}
+	})
+	r.env.Run()
+	c := r.drv.Counters()
+	if c.Timeouts == 0 {
+		t.Fatalf("no timeouts recorded: %+v", c)
+	}
+	if c.Aborts != c.Timeouts {
+		t.Fatalf("aborts %d != timeouts %d", c.Aborts, c.Timeouts)
+	}
+	if c.Submitted != c.Completed+c.Timeouts {
+		t.Fatalf("submitted %d != completed %d + timeouts %d", c.Submitted, c.Completed, c.Timeouts)
+	}
+	if c.Stragglers != c.Timeouts || c.ZombiesLeft != 0 {
+		t.Fatalf("stragglers/zombies = %d/%d, want all %d zombies reclaimed", c.Stragglers, c.ZombiesLeft, c.Timeouts)
+	}
+	if c.Spurious != 0 {
+		t.Fatalf("spurious CQEs: %+v", c)
+	}
+}
+
+func TestIOOutcomeIndeterminateWithoutRecovery(t *testing.T) {
+	dcfg := host.DefaultDriverConfig()
+	dcfg.CmdTimeout = 1 * sim.Millisecond
+	// MaxRetries 0: the first timeout ends the episode indeterminate.
+	r := newFaultedRig(t, dcfg,
+		fault.Rule{Point: fault.SSDStall, Target: "SN001", At: int64(200 * sim.Microsecond), Duration: int64(10 * sim.Millisecond)})
+	r.env.Go("test", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond) // land the submission inside the stall window
+		bd := r.drv.BlockDev(0).(host.OutcomeBlockDevice)
+		oc := bd.WriteAtOutcome(p, 0, 1, nil)
+		if !oc.TimedOut || oc.Status != nvme.StatusAborted || oc.Attempts != 1 {
+			t.Fatalf("outcome %+v, want indeterminate single-attempt abort", oc)
+		}
+	})
+	r.env.Run()
+	c := r.drv.Counters()
+	if c.Timeouts != 1 || c.Submitted != 1 || c.Completed != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	// The straggler lands after the stall window, once env.Run drains.
+	if c.Stragglers != 1 || c.ZombiesLeft != 0 {
+		t.Fatalf("straggler not reclaimed: %+v", c)
+	}
+}

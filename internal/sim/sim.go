@@ -243,6 +243,65 @@ func (e *Env) RunUntil(t Time) Time {
 // forever.
 func (e *Env) RunUntilEvent(ev *Event) Time { return e.run(-1, ev) }
 
+// Diagnosis describes why a watched run stopped before its event fired: the
+// structured alternative to a hung test. Deadlock means the event queue went
+// dry with the workload unfinished — every remaining process is blocked on
+// an event nothing will ever trigger. HorizonHit means events were still
+// flowing but the workload failed to finish inside the time budget (a
+// livelock, or a horizon set too tight).
+type Diagnosis struct {
+	At         Time // virtual time the watchdog gave up
+	HorizonHit bool // true: budget exhausted; false: true deadlock
+	Pending    int  // events still queued (0 on a deadlock)
+	// Blocked lists the live-but-blocked processes as "id:name", in spawn
+	// order — the wait-for picture a deadlocked rig leaves behind.
+	Blocked []string
+}
+
+// String renders the diagnosis the way a failure report quotes it.
+func (d *Diagnosis) String() string {
+	kind := "deadlock"
+	if d.HorizonHit {
+		kind = "horizon"
+	}
+	return fmt.Sprintf("sim %s at t=%dns: %d events pending, blocked procs %v",
+		kind, d.At, d.Pending, d.Blocked)
+}
+
+// RunUntilEventWatched is RunUntilEvent with a liveness watchdog: it stops
+// as soon as ev fires (returning a nil Diagnosis), the queue drains, or the
+// clock passes horizon — the latter two produce a structured Diagnosis
+// instead of a hang. The watchdog costs no extra events and is fully
+// deterministic: the emitted trace record folds into the digest like any
+// other kernel record, so a watched run replays bit-identically.
+func (e *Env) RunUntilEventWatched(ev *Event, horizon Time) (Time, *Diagnosis) {
+	e.run(horizon, ev)
+	if ev.processed {
+		return e.now, nil
+	}
+	d := &Diagnosis{
+		At:         e.now,
+		HorizonHit: len(e.queue.s) > 0,
+		Pending:    len(e.queue.s),
+	}
+	procs := make([]*Proc, 0, len(e.live))
+	for p := range e.live {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+	for _, p := range procs {
+		d.Blocked = append(d.Blocked, fmt.Sprintf("%d:%s", p.id, p.name))
+	}
+	if e.tracer != nil {
+		kind := "deadlock"
+		if d.HorizonHit {
+			kind = "horizon"
+		}
+		e.tracer.Emit(e.now, "sim", kind, uint64(len(d.Blocked)), uint64(d.Pending), "")
+	}
+	return e.now, d
+}
+
 // run is the scheduler hot loop shared by Run, RunUntil and RunUntilEvent:
 // pop in (time, seq) order until the queue drains, the next entry lies
 // beyond limit (when limit >= 0), or until has fired (when non-nil).

@@ -3,10 +3,20 @@ package ssd
 import (
 	"encoding/binary"
 
+	"bmstore/internal/fault"
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
 	"bmstore/internal/sim"
 )
+
+// hazards carries the data-hazard faults evaluated for one command. They
+// damage payload bytes on the captured-data path while the command still
+// completes with success — silent corruption, not an error.
+type hazards struct {
+	corrupt   bool // flip one byte of the read payload
+	misdirect bool // serve the neighbouring block's data
+	torn      bool // persist only the first half of the write payload
+}
 
 // execIO handles one NVM command from an I/O queue and returns its status.
 // sqID is the submission queue the command arrived on; with the CID it forms
@@ -70,14 +80,42 @@ func (d *SSD) execIO(p *sim.Proc, sqID uint16, cmd nvme.Command) nvme.Status {
 			}
 		}
 	}
+	// Data-hazard faults: evaluated only when the rig captures real data
+	// (there is no payload to damage otherwise), so hazard rules on a
+	// digest-only rig count zero injections instead of silently "firing".
+	var hzd hazards
+	if d.flt != nil && d.cfg.CaptureData {
+		switch cmd.Opcode {
+		case nvme.IORead:
+			if d.flt.Hit(fault.MediaCorrupt, d.cfg.Serial, p.Now()) != nil {
+				hzd.corrupt = true
+				if d.tr != nil {
+					d.tr.Emit(p.Now(), "fault", "media-corrupt", devByte, uint64(n), d.cfg.Serial)
+				}
+			}
+			if d.flt.Hit(fault.ReadMisdirect, d.cfg.Serial, p.Now()) != nil {
+				hzd.misdirect = true
+				if d.tr != nil {
+					d.tr.Emit(p.Now(), "fault", "misdirected-read", devByte, uint64(n), d.cfg.Serial)
+				}
+			}
+		case nvme.IOWrite:
+			if d.flt.Hit(fault.WriteTorn, d.cfg.Serial, p.Now()) != nil {
+				hzd.torn = true
+				if d.tr != nil {
+					d.tr.Emit(p.Now(), "fault", "torn-write", devByte, uint64(n), d.cfg.Serial)
+				}
+			}
+		}
+	}
 	var media sim.Time
 	if cmd.Opcode == nvme.IORead {
-		media = d.doRead(p, devByte, segs, n)
+		media = d.doRead(p, devByte, segs, n, hzd)
 		d.ReadStats.Record(n, p.Now()-start)
 		d.mReadOps.Inc()
 		d.mReadBytes.AddAt(int64(p.Now()), uint64(n))
 	} else {
-		media = d.doWrite(p, devByte, segs, n)
+		media = d.doWrite(p, devByte, segs, n, hzd.torn)
 		d.WriteStats.Record(n, p.Now()-start)
 		d.mWriteOps.Inc()
 		d.mWriteBytes.AddAt(int64(p.Now()), uint64(n))
@@ -95,12 +133,19 @@ func (d *SSD) execIO(p *sim.Proc, sqID uint16, cmd nvme.Command) nvme.Status {
 // doRead performs the media read and DMA-writes the data upstream. It
 // returns the media phase's duration (NAND array + internal read bus, or the
 // pluggable medium's service time) for span attribution.
-func (d *SSD) doRead(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) sim.Time {
+func (d *SSD) doRead(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int, hzd hazards) sim.Time {
+	// A misdirected read serves the neighbouring block's bytes (an FTL
+	// mapping slip): only the data source shifts — timing, stats, and the
+	// completion status all describe the block that was asked for.
+	src := devByte
+	if hzd.misdirect {
+		src += BlockSize
+	}
 	t0 := p.Now()
 	if d.cfg.Media != nil {
 		d.cfg.Media.Read(p, devByte, n)
 		media := p.Now() - t0
-		d.dmaOut(p, devByte, segs)
+		d.dmaOut(p, src, segs, hzd.corrupt)
 		return media
 	}
 	stripes := (n + d.cfg.StripeBytes - 1) / d.cfg.StripeBytes
@@ -124,18 +169,25 @@ func (d *SSD) doRead(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) si
 	// read bandwidth at the paper's 3.3 GB/s.
 	d.readPacer.Transfer(p, int64(n))
 	media := p.Now() - t0
-	d.dmaOut(p, devByte, segs)
+	d.dmaOut(p, src, segs, hzd.corrupt)
 	return media
 }
 
-// dmaOut pushes the data upstream through the port, per PRP segment.
-func (d *SSD) dmaOut(p *sim.Proc, devByte uint64, segs []nvme.Segment) {
+// dmaOut pushes the data upstream through the port, per PRP segment. With
+// corrupt set, one byte mid-way through the first segment is flipped —
+// deep enough into the block to land in payload body rather than any
+// caller-side header, modelling corruption the device's ECC missed.
+func (d *SSD) dmaOut(p *sim.Proc, devByte uint64, segs []nvme.Segment, corrupt bool) {
 	var last sim.Time
 	off := 0
 	for _, seg := range segs {
 		var data []byte
 		if d.cfg.CaptureData {
 			data = d.readBytes(devByte+uint64(off), seg.Len)
+			if corrupt && len(data) > 0 {
+				data[len(data)/2] ^= 0xA5
+				corrupt = false
+			}
 		}
 		t := d.port.DMAWrite(seg.Addr, seg.Len, data)
 		if t > last {
@@ -151,7 +203,7 @@ func (d *SSD) dmaOut(p *sim.Proc, devByte uint64, segs []nvme.Segment) {
 // doWrite fetches the data from upstream and admits it to the write cache.
 // It returns the media phase's duration (cache admission behind the DMA
 // fetch) for span attribution.
-func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) sim.Time {
+func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int, torn bool) sim.Time {
 	var last sim.Time
 	bufs := make([][]byte, len(segs))
 	for i, seg := range segs {
@@ -177,8 +229,21 @@ func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int) s
 	}
 	media := p.Now() - t0
 	if d.cfg.CaptureData {
+		// A torn write persists only the first half of the payload while
+		// still completing with success: the tail keeps whatever bytes the
+		// media held before (power-cut tearing past the write cache).
+		keep := n
+		if torn {
+			keep = n / 2
+		}
 		off := 0
 		for _, b := range bufs {
+			if off >= keep {
+				break
+			}
+			if off+len(b) > keep {
+				b = b[:keep-off]
+			}
 			d.writeBytes(devByte+uint64(off), b)
 			off += len(b)
 		}

@@ -38,7 +38,12 @@ type hCQ struct {
 }
 
 func newHarness(t *testing.T, cfg Config) *harness {
-	env := sim.NewEnv(7)
+	return newHarnessOn(t, sim.NewEnv(7), cfg)
+}
+
+// newHarnessOn builds the harness on a caller-provided environment, so tests
+// can attach a fault injector (or tracer) before the SSD is constructed.
+func newHarnessOn(t *testing.T, env *sim.Env, cfg Config) *harness {
 	mem := hostmem.New(256 << 20)
 	root := pcie.NewRoot(env, mem)
 	h := &harness{
