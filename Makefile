@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke bench-smoke bench-gate flaky
+.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke bench-smoke bench-gate flaky figures-gate goldens
 
 all: build test
 
@@ -27,6 +27,16 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI runs the pinned version)"; \
+	fi
+	@if command -v shellcheck >/dev/null 2>&1; then \
+		shellcheck scripts/*.sh; \
+	else \
+		echo "lint: shellcheck not installed; skipping (CI runs it)"; \
+	fi
 
 # The determinism gate: every replay scenario twice with the same seed,
 # asserting bit-identical trace digests (see internal/trace/replay_test.go).
@@ -37,7 +47,7 @@ determinism:
 # timeout/retry recovery absorbs the injections), count them, and stay
 # byte-identical between serial and parallel execution.
 fault-smoke:
-	sh scripts/fault_smoke.sh
+	bash scripts/fault_smoke.sh
 
 # Chaos-campaign smoke: a fixed-seed campaign of generated fault schedules
 # under a write-then-verify workload must come back green (no data-integrity
@@ -46,7 +56,7 @@ fault-smoke:
 # seeds are printed with their copy-pasteable `fiosim -chaos <seed>,1`
 # replay.
 chaos-smoke:
-	sh scripts/chaos_smoke.sh
+	bash scripts/chaos_smoke.sh
 
 # One iteration of every benchmark — catches bit-rot in benchmark code and
 # gives a cheap overhead spot-check without a full measurement run.
@@ -56,7 +66,22 @@ bench-smoke:
 # Alloc-regression gate: the kernel throughput benchmarks must stay at the
 # committed allocs/op baseline (scripts/bench_allocs_baseline.txt).
 bench-gate:
-	sh scripts/check_bench_allocs.sh
+	bash scripts/check_bench_allocs.sh
+
+# Paper-fidelity gate: regenerate the fast evaluation sweep, compare every
+# structured Result against goldens/*.json (exact cells + the paper-shape
+# assertions in internal/fidelity), and verify the committed
+# bench_tables.txt matches the regenerated rendering byte for byte.
+# Artifacts (results.json, fidelity_report.txt, bench_tables.txt/diff)
+# land in $$FIGURES_OUT for CI upload.
+figures-gate:
+	bash scripts/figures_gate.sh
+
+# Bless the current fast-sweep numbers: rewrite goldens/*.json and
+# bench_tables.txt in one run. Refused if the fresh results violate any
+# paper-shape rule — recalibration may move numbers, never the story.
+goldens:
+	$(GO) run ./cmd/bmstore-bench -scale fast -trace-digest -write-goldens goldens > bench_tables.txt
 
 # Flakiness sweep: the full suite twice, fresh processes, no test cache.
 flaky:

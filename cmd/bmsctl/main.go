@@ -14,13 +14,20 @@
 //
 // With no script, a demonstration sequence runs.
 //
-// The offline subcommand
+// The offline subcommands need no testbed:
 //
 //	bmsctl stats <snapshot.json> [topN]
 //
-// needs no testbed: it pretty-prints a metrics snapshot produced by
-// fiosim/bmstore-bench -metrics-out — the hottest latency stages across all
-// rigs and the queue-depth peaks.
+// pretty-prints a metrics snapshot produced by fiosim/bmstore-bench
+// -metrics-out — the hottest latency stages across all rigs and the
+// queue-depth peaks — and
+//
+//	bmsctl fidelity-diff <goldens-dir> <results.json>
+//
+// checks a `bmstore-bench -json` export against the checked-in goldens:
+// exact cell-level drift plus the paper-shape assertions, printed as a
+// report naming each artifact, cell, golden-vs-got value, and violated
+// rule. Exit status 1 means the gate would fail.
 package main
 
 import (
@@ -33,6 +40,8 @@ import (
 	"strings"
 
 	"bmstore"
+	"bmstore/internal/experiments"
+	"bmstore/internal/fidelity"
 	"bmstore/internal/obs"
 	"bmstore/internal/sim"
 )
@@ -45,6 +54,17 @@ func main() {
 	if args := flag.Args(); len(args) > 0 && args[0] == "stats" {
 		if err := runStats(args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if args := flag.Args(); len(args) > 0 && args[0] == "fidelity-diff" {
+		ok, err := runFidelityDiff(args[1:])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -207,6 +227,40 @@ func run(tb *bmstore.Testbed, p *sim.Proc, f []string) error {
 		return fmt.Errorf("unknown command %q", f[0])
 	}
 	return nil
+}
+
+// runFidelityDiff implements `bmsctl fidelity-diff <goldens-dir>
+// <results.json>`: the offline half of the paper-fidelity gate. It loads
+// the goldens and a -json export, runs the exact comparator and the shape
+// checker, and prints the drift report to stdout. Returns ok=false when
+// the report has findings (exit 1), an error for unusable inputs (exit 2).
+func runFidelityDiff(args []string) (bool, error) {
+	if len(args) != 2 {
+		return false, fmt.Errorf("usage: bmsctl fidelity-diff <goldens-dir> <results.json>")
+	}
+	goldenScale, goldens, err := fidelity.LoadGoldens(args[0])
+	if err != nil {
+		return false, err
+	}
+	f, err := os.Open(args[1])
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	set, err := experiments.ReadResultSet(f)
+	if err != nil {
+		return false, fmt.Errorf("%s: %v", args[1], err)
+	}
+	if set.Scale != goldenScale {
+		return false, fmt.Errorf("results are %q scale but goldens in %s are %q — not comparable", set.Scale, args[0], goldenScale)
+	}
+	fmt.Printf("fidelity-diff: %d results (%s scale) vs %d goldens in %s\n",
+		len(set.Results), set.Scale, len(goldens), args[0])
+	rep := fidelity.Check(goldens, set.Results)
+	if err := rep.Write(os.Stdout); err != nil {
+		return false, err
+	}
+	return rep.OK(), nil
 }
 
 // runStats implements `bmsctl stats <snapshot.json> [topN]`: an offline

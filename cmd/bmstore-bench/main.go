@@ -4,12 +4,20 @@
 // Usage:
 //
 //	bmstore-bench [-scale fast|full] [-parallel N] [-only fig8,fig11,...] [-list]
+//	              [-json out.json] [-check goldens/] [-write-goldens goldens/]
 //
 // Independent rigs (each fio cell, each seed, each VM-count point) fan out
 // on a bounded worker pool; -parallel 1 and -parallel N produce
-// byte-identical stdout, because rows are assembled in cell order and each
-// rig owns a private simulation environment. Timing goes to stderr so
-// stdout stays deterministic and diffable.
+// byte-identical stdout — and a byte-identical -json export — because rows
+// are assembled in cell order and each rig owns a private simulation
+// environment. Timing goes to stderr so stdout stays deterministic and
+// diffable.
+//
+// The fidelity flags turn the run into a paper-fidelity gate: -json writes
+// the structured Result records, -check compares them (and the paper-shape
+// assertions) against checked-in goldens and exits nonzero on any drift or
+// shape violation, and -write-goldens blesses the current numbers — after
+// the shape layer confirms they still support the paper's claims.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"bmstore/internal/experiments"
+	"bmstore/internal/fidelity"
 	"bmstore/internal/obs"
 	"bmstore/internal/trace"
 )
@@ -37,6 +46,9 @@ func main() {
 	metricsOn := flag.Bool("metrics", false, "collect metrics and print the per-component summary")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, otherwise JSON; - for stdout)")
 	breakdown := flag.Bool("breakdown", false, "print the per-stage request latency breakdown table")
+	jsonOut := flag.String("json", "", "write structured Result records as deterministic JSON to this file (- for stdout)")
+	checkDir := flag.String("check", "", "compare results against the goldens in this directory and exit nonzero on drift or shape violation")
+	writeGoldens := flag.String("write-goldens", "", "bless the current results as goldens in this directory (refused if they violate the paper shape)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -52,18 +64,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	all := experiments.All()
 	if *list {
-		for _, e := range all {
+		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Name)
 		}
 		return
 	}
-	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
-		}
+	// An unknown -only id is an error, not a silent no-op sweep.
+	sel, err := experiments.Select(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	if *cpuprofile != "" {
@@ -120,14 +131,13 @@ func main() {
 
 	fmt.Printf("BM-Store evaluation reproduction (scale=%s)\n\n", sc.Name)
 	sweepStart := time.Now()
-	for _, e := range all {
-		if len(want) > 0 && !want[e.ID] {
-			continue
-		}
+	var results []experiments.Result
+	for _, e := range sel {
 		start := time.Now()
 		tab := e.Run(h)
 		fmt.Fprintf(os.Stderr, "%-8s %5.1fs wall\n", e.ID, time.Since(start).Seconds())
 		tab.Render(os.Stdout)
+		results = append(results, tab.Result())
 	}
 	fmt.Fprintf(os.Stderr, "sweep    %5.1fs wall (parallel=%d)\n", time.Since(sweepStart).Seconds(), h.Parallelism())
 	if traces != nil {
@@ -157,6 +167,50 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeResults(&experiments.ResultSet{Scale: sc.Name, Results: results}, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *writeGoldens != "" {
+		if err := fidelity.WriteGoldens(*writeGoldens, sc.Name, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d goldens to %s\n", len(results), *writeGoldens)
+	}
+	checkFailed := false
+	if *checkDir != "" {
+		goldenScale, goldens, err := fidelity.LoadGoldens(*checkDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if goldenScale != sc.Name {
+			fmt.Fprintf(os.Stderr, "goldens in %s are %q scale; this run is %q — refusing to compare\n",
+				*checkDir, goldenScale, sc.Name)
+			os.Exit(1)
+		}
+		if *only != "" {
+			// A partial run is checked against the matching goldens only.
+			// Keyed by artifact id (e.g. "fig8+table5"), not experiment id
+			// ("fig8") — the two differ for the combined tables.
+			ids := make(map[string]bool, len(results))
+			for _, r := range results {
+				ids[r.ID] = true
+			}
+			goldens = fidelity.FilterByID(goldens, ids)
+		}
+		rep := fidelity.Check(goldens, results)
+		// The report goes to stderr: stdout must stay byte-identical to the
+		// committed bench_tables.txt whether or not -check is on.
+		if err := rep.Write(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		checkFailed = !rep.OK()
+	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -170,6 +224,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if checkFailed {
+		os.Exit(1)
+	}
+}
+
+// writeResults exports the structured records to path, stdout for "-".
+func writeResults(set *experiments.ResultSet, path string) error {
+	if path == "-" {
+		return set.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := set.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics exports the metrics set to path: CSV when the name ends in

@@ -1,0 +1,284 @@
+package fidelity
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bmstore/internal/experiments"
+)
+
+// goldensDir points the tests at the repository's real checked-in goldens:
+// the comparator and the shape rules are proven against the exact data the
+// CI gate consumes.
+const goldensDir = "../../goldens"
+
+func loadRepoGoldens(t *testing.T) []experiments.Result {
+	t.Helper()
+	scale, results, err := LoadGoldens(goldensDir)
+	if err != nil {
+		t.Fatalf("LoadGoldens(%s): %v", goldensDir, err)
+	}
+	if scale != "fast" {
+		t.Fatalf("checked-in goldens are %q scale, want fast", scale)
+	}
+	if len(results) < 16 {
+		t.Fatalf("only %d goldens, want the full evaluation (>= 16)", len(results))
+	}
+	return results
+}
+
+// clone deep-copies results so planted-drift tests can mutate freely.
+func clone(in []experiments.Result) []experiments.Result {
+	out := make([]experiments.Result, len(in))
+	for i, r := range in {
+		c := r
+		c.Header = append([]string(nil), r.Header...)
+		c.Notes = append([]string(nil), r.Notes...)
+		c.Rows = make([][]string, len(r.Rows))
+		for j, row := range r.Rows {
+			c.Rows[j] = append([]string(nil), row...)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func byID(t *testing.T, results []experiments.Result, id string) *experiments.Result {
+	t.Helper()
+	for i := range results {
+		if results[i].ID == id {
+			return &results[i]
+		}
+	}
+	t.Fatalf("no artifact %q", id)
+	return nil
+}
+
+func TestCompareCleanAgainstSelf(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	rep := Check(goldens, clone(goldens))
+	if !rep.OK() {
+		var b bytes.Buffer
+		rep.Write(&b)
+		t.Fatalf("goldens vs themselves not clean:\n%s", b.String())
+	}
+	if rep.Artifacts != len(goldens) {
+		t.Fatalf("compared %d artifacts, want %d", rep.Artifacts, len(goldens))
+	}
+	if rep.Rules < 20 {
+		t.Fatalf("only %d shape rules evaluated on the full set", rep.Rules)
+	}
+}
+
+// The planted-drift contract: perturbing exactly one cell yields exactly
+// one finding that names the artifact, the cell (row label and column
+// header), and both values.
+func TestPlantedSingleCellDrift(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	got := clone(goldens)
+	fig8 := byID(t, got, "fig8+table5")
+	row, err := fig8.RowByLabel("rand-w-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := fig8.Rows[row][7]
+	fig8.Rows[row][7] = "42.0%"
+
+	rep := Compare(goldens, got)
+	if len(rep.Findings) != 1 {
+		t.Fatalf("planted 1 drift, got %d findings: %v", len(rep.Findings), rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Kind != DriftExact || f.Artifact != "fig8+table5" {
+		t.Fatalf("finding = %+v", f)
+	}
+	if f.Golden != orig || f.Got != "42.0%" {
+		t.Fatalf("finding values golden=%q got=%q, want %q/%q", f.Golden, f.Got, orig, "42.0%")
+	}
+	for _, frag := range []string{"rand-w-1", "bms/native"} {
+		if !strings.Contains(f.Cell, frag) {
+			t.Fatalf("cell reference %q does not name %q", f.Cell, frag)
+		}
+	}
+	// The rendered line carries everything a human needs.
+	line := f.String()
+	for _, frag := range []string{"DRIFT", "fig8+table5", "rand-w-1", orig, "42.0%"} {
+		if !strings.Contains(line, frag) {
+			t.Fatalf("finding line %q missing %q", line, frag)
+		}
+	}
+}
+
+func TestMissingArtifactInRun(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	got := clone(goldens)
+	// Drop fig1 from the run: the golden still expects it.
+	var trimmed []experiments.Result
+	for _, r := range got {
+		if r.ID != "fig1" {
+			trimmed = append(trimmed, r)
+		}
+	}
+	rep := Compare(goldens, trimmed)
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings: %v", rep.Findings)
+	}
+	if f := rep.Findings[0]; f.Kind != MissingArtifact || f.Artifact != "fig1" {
+		t.Fatalf("finding = %+v", f)
+	}
+}
+
+func TestExtraArtifactNotInGoldens(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	got := clone(goldens)
+	got = append(got, experiments.Result{ID: "fig99", Title: "novel", Header: []string{"x"}, Rows: [][]string{{"1"}}})
+	rep := Compare(goldens, got)
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings: %v", rep.Findings)
+	}
+	if f := rep.Findings[0]; f.Kind != ExtraArtifact || f.Artifact != "fig99" {
+		t.Fatalf("finding = %+v", f)
+	}
+	// FilterByID is how a partial run avoids spurious missing-artifact
+	// noise: restricting goldens to the run's ids must make the extra the
+	// only possible finding class.
+	ids := map[string]bool{"fig1": true}
+	sub := FilterByID(goldens, ids)
+	if len(sub) != 1 || sub[0].ID != "fig1" {
+		t.Fatalf("FilterByID kept %v", sub)
+	}
+}
+
+func TestDimensionDrift(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+
+	got := clone(goldens)
+	fig1 := byID(t, got, "fig1")
+	fig1.Rows = fig1.Rows[:len(fig1.Rows)-1]
+	rep := Compare(goldens, got)
+	if len(rep.Findings) != 1 || !strings.Contains(rep.Findings[0].Cell, "rows") {
+		t.Fatalf("row-count drift findings: %v", rep.Findings)
+	}
+
+	got = clone(goldens)
+	t6 := byID(t, got, "table6")
+	t6.Header = append(t6.Header, "surprise")
+	rep = Compare(goldens, got)
+	if len(rep.Findings) != 1 || !strings.Contains(rep.Findings[0].Cell, "header") {
+		t.Fatalf("header drift findings: %v", rep.Findings)
+	}
+
+	got = clone(goldens)
+	t9 := byID(t, got, "table9+fig15")
+	t9.Notes[0] = "edited note"
+	rep = Compare(goldens, got)
+	if len(rep.Findings) != 1 || !strings.Contains(rep.Findings[0].Cell, "note") {
+		t.Fatalf("note drift findings: %v", rep.Findings)
+	}
+}
+
+// The report's bytes are deterministic: findings ordered by artifact, not
+// by discovery or input order.
+func TestReportDeterministicOrder(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	got := clone(goldens)
+	byID(t, got, "tco").Rows[1][1] = "99"
+	byID(t, got, "fig1").Rows[0][1] = "9999"
+
+	render := func(goldens, got []experiments.Result) string {
+		var b bytes.Buffer
+		if err := Check(goldens, got).Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := render(goldens, got)
+	// Reversed input order must not change a byte.
+	rev := clone(got)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	revG := clone(goldens)
+	for i, j := 0, len(revG)-1; i < j; i, j = i+1, j-1 {
+		revG[i], revG[j] = revG[j], revG[i]
+	}
+	if out2 := render(revG, rev); out != out2 {
+		t.Fatalf("report depends on input order:\n--- a ---\n%s\n--- b ---\n%s", out, out2)
+	}
+	if !strings.Contains(out, "FAIL") || strings.Index(out, "fig1") > strings.Index(out, "tco") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	dir := t.TempDir()
+	if err := WriteGoldens(dir, "fast", goldens); err != nil {
+		t.Fatal(err)
+	}
+	scale, back, err := LoadGoldens(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != "fast" {
+		t.Fatalf("scale %q", scale)
+	}
+	if rep := Compare(goldens, back); !rep.OK() {
+		t.Fatalf("round-trip drift: %v", rep.Findings)
+	}
+	// Re-writing produces byte-identical files (deterministic encoding).
+	raw1, err := os.ReadFile(filepath.Join(dir, "fig1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(filepath.Join(goldensDir, "fig1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("regenerated golden bytes differ from checked-in bytes")
+	}
+}
+
+// Blessing shape-violating results must be refused: `make goldens` cannot
+// be used to launder a broken reproduction.
+func TestWriteGoldensRefusesShapeViolation(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	bad := clone(goldens)
+	byID(t, bad, "tco").Rows[1][1] = "5" // BM-Store selling fewer instances than SPDK
+	err := WriteGoldens(t.TempDir(), "fast", bad)
+	if err == nil {
+		t.Fatal("WriteGoldens accepted shape-violating results")
+	}
+	if !strings.Contains(err.Error(), "bms-sells-more-instances") {
+		t.Fatalf("refusal does not name the violated rule: %v", err)
+	}
+}
+
+func TestLoadGoldensScaleMismatch(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	dir := t.TempDir()
+	if err := WriteGoldens(dir, "fast", goldens[:2]); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-plant a sibling at a different scale.
+	buf, err := encodeGolden(Golden{Scale: "full", Result: goldens[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, goldens[2].ID+".json"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadGoldens(dir); err == nil || !strings.Contains(err.Error(), "scale") {
+		t.Fatalf("mixed-scale goldens loaded: %v", err)
+	}
+}
+
+func TestLoadGoldensEmptyDir(t *testing.T) {
+	if _, _, err := LoadGoldens(t.TempDir()); err == nil || !strings.Contains(err.Error(), "make goldens") {
+		t.Fatalf("empty dir: %v", err)
+	}
+}

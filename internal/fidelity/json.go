@@ -1,0 +1,25 @@
+package fidelity
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// unmarshalStrict decodes JSON rejecting unknown fields, so a hand-edited
+// or schema-drifted golden fails loudly instead of half-loading.
+func unmarshalStrict(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// encodeGolden serializes a golden file deterministically: fixed field
+// order, two-space indent, trailing newline — the same discipline as the
+// experiments' ResultSet export, so goldens diff cleanly in review.
+func encodeGolden(g Golden) ([]byte, error) {
+	buf, err := json.MarshalIndent(&g, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

@@ -1,0 +1,544 @@
+package fidelity
+
+import (
+	"fmt"
+	"strings"
+
+	"bmstore/internal/experiments"
+)
+
+// Rule is one paper-shape assertion: a named predicate over a single
+// artifact's Result. Rules encode the *claims* of BM-Store §V — orderings,
+// bands, knees — not absolute numbers, so they must keep holding across
+// any recalibration whose goldens we would accept.
+type Rule struct {
+	Artifact string
+	Name     string
+	Check    func(r *experiments.Result) error
+}
+
+// band is an inclusive tolerance band: a value exactly on either boundary
+// passes. All shape bands share this semantics (tested explicitly), so a
+// measured value landing on the edge never flaps.
+type band struct{ lo, hi float64 }
+
+func (b band) contains(v float64) bool { return v >= b.lo && v <= b.hi }
+func (b band) String() string          { return fmt.Sprintf("[%g, %g]", b.lo, b.hi) }
+
+// cell reads a numeric cell or propagates a malformed-artifact error.
+func cell(r *experiments.Result, row, col int) (float64, error) {
+	return r.CellNum(row, col)
+}
+
+// labelledCell reads a numeric cell addressed by row label.
+func labelledCell(r *experiments.Result, label string, col int) (float64, error) {
+	row, err := r.RowByLabel(label)
+	if err != nil {
+		return 0, err
+	}
+	return r.CellNum(row, col)
+}
+
+// Rules returns every shape rule in a fixed order. CheckShapes evaluates
+// each rule whose artifact is present in the result set.
+func Rules() []Rule {
+	return []Rule{
+		// --- Fig. 1 (motivation): SPDK vhost needs many polling cores ---
+		{"fig1", "spdk-core-scaling-monotone", func(r *experiments.Result) error {
+			prev := -1.0
+			for i := range r.Rows {
+				bw, err := cell(r, i, 1)
+				if err != nil {
+					return err
+				}
+				if bw < prev {
+					return fmt.Errorf("bandwidth falls from %.0f to %.0f MB/s at %s cores; the core-scaling curve must be monotone",
+						prev, bw, r.Rows[i][0])
+				}
+				prev = bw
+			}
+			return nil
+		}},
+		{"fig1", "spdk-80pct-knee-at-8-10-cores", func(r *experiments.Result) error {
+			// The paper's claim: ~80% of native is out of reach below 8
+			// dedicated cores and reached by 10. Inclusive boundaries: a
+			// curve touching exactly 80.0 at 10 cores passes.
+			at6, err := labelledCell(r, "6", 2)
+			if err != nil {
+				return err
+			}
+			at10, err := labelledCell(r, "10", 2)
+			if err != nil {
+				return err
+			}
+			if at6 >= 80 {
+				return fmt.Errorf("%.1f%% of native already at 6 cores; the paper's knee needs >= 8 cores to approach 80%%", at6)
+			}
+			if at10 < 80 {
+				return fmt.Errorf("only %.1f%% of native at 10 cores; the curve must cross ~80%% by 10 cores", at10)
+			}
+			return nil
+		}},
+
+		// --- Fig. 8 + Table V: BM-Store vs native on bare metal ---
+		{"fig8+table5", "bms-native-ratio-bands", func(r *experiments.Result) error {
+			for i, row := range r.Rows {
+				ratio, err := cell(r, i, 7)
+				if err != nil {
+					return err
+				}
+				b := band{90, 104} // paper: 96.2-101.4% of native
+				if row[0] == "rand-w-1" {
+					b = band{75, 104} // paper: 82.5%, latency-magnified
+				}
+				if !b.contains(ratio) {
+					return fmt.Errorf("%s: bms/native %.1f%% outside band %s", row[0], ratio, b)
+				}
+			}
+			return nil
+		}},
+		{"fig8+table5", "bms-qd1-latency-delta-3us", func(r *experiments.Result) error {
+			for _, label := range []string{"rand-r-1", "rand-w-1"} {
+				nat, err := labelledCell(r, label, 5)
+				if err != nil {
+					return err
+				}
+				bms, err := labelledCell(r, label, 6)
+				if err != nil {
+					return err
+				}
+				if d, b := bms-nat, (band{1.5, 5.5}); !b.contains(d) {
+					return fmt.Errorf("%s: engine latency delta %.2fus outside band %s (paper: ~3us)", label, d, b)
+				}
+			}
+			return nil
+		}},
+
+		// --- Table VI: OS/kernel matrix ---
+		{"table6", "centos-kernels-identical-iops", func(r *experiments.Result) error {
+			lo, hi, err := kiopsRange(r, "CentOS")
+			if err != nil {
+				return err
+			}
+			if hi > lo*1.01 {
+				return fmt.Errorf("CentOS kIOPS spread %.0f..%.0f exceeds 1%%; the paper sees identical IOPS across CentOS kernels", lo, hi)
+			}
+			return nil
+		}},
+		{"table6", "fedora-below-centos", func(r *experiments.Result) error {
+			cLo, _, err := kiopsRange(r, "CentOS")
+			if err != nil {
+				return err
+			}
+			_, fHi, err := kiopsRange(r, "Fedora")
+			if err != nil {
+				return err
+			}
+			if fHi >= cLo {
+				return fmt.Errorf("Fedora peak %.0f kIOPS not below CentOS floor %.0f; the paper orders Fedora ~6%% under CentOS", fHi, cLo)
+			}
+			return nil
+		}},
+
+		// --- Fig. 9 + Table VII: single VM, three schemes ---
+		{"fig9+table7", "bms-near-vfio", func(r *experiments.Result) error {
+			for i, row := range r.Rows {
+				ratio, err := cell(r, i, 7)
+				if err != nil {
+					return err
+				}
+				b := band{85, 106} // paper: 95.6-102.7%, rand-w-1 81.2%
+				if !b.contains(ratio) {
+					return fmt.Errorf("%s: bms/vfio %.1f%% outside band %s", row[0], ratio, b)
+				}
+			}
+			return nil
+		}},
+		{"fig9+table7", "spdk-seqread-collapse", func(r *experiments.Result) error {
+			ratio, err := labelledCell(r, "seq-r-256", 8)
+			if err != nil {
+				return err
+			}
+			if b := (band{55, 72}); !b.contains(ratio) {
+				return fmt.Errorf("seq-r-256: spdk/vfio %.1f%% outside band %s (paper: collapse to ~63%%)", ratio, b)
+			}
+			return nil
+		}},
+		{"fig9+table7", "spdk-lags-on-writes", func(r *experiments.Result) error {
+			for _, label := range []string{"seq-w-256", "rand-w-16"} {
+				ratio, err := labelledCell(r, label, 8)
+				if err != nil {
+					return err
+				}
+				if ratio > 90 {
+					return fmt.Errorf("%s: spdk/vfio %.1f%% > 90%%; the paper has SPDK clearly lagging VFIO here", label, ratio)
+				}
+			}
+			return nil
+		}},
+		{"fig9+table7", "bms-beats-spdk", func(r *experiments.Result) error {
+			for i, row := range r.Rows {
+				if strings.HasSuffix(row[0], "-1") {
+					continue // QD1 is a wash in the paper too
+				}
+				bms, err := cell(r, i, 7)
+				if err != nil {
+					return err
+				}
+				spdk, err := cell(r, i, 8)
+				if err != nil {
+					return err
+				}
+				if bms < spdk {
+					return fmt.Errorf("%s: BM-Store (%.1f%% of VFIO) behind SPDK (%.1f%%); the paper's win/loss ordering is inverted", row[0], bms, spdk)
+				}
+			}
+			return nil
+		}},
+
+		// --- Fig. 10: SSD scaling ---
+		{"fig10", "linear-ssd-scaling", func(r *experiments.Result) error {
+			base, err := cell(r, 0, 2)
+			if err != nil {
+				return err
+			}
+			for i, row := range r.Rows {
+				per, err := cell(r, i, 2)
+				if err != nil {
+					return err
+				}
+				if b := (band{base * 0.95, base * 1.05}); !b.contains(per) {
+					return fmt.Errorf("%s SSDs: per-SSD %.2f GB/s deviates >5%% from the 1-SSD %.2f GB/s; scaling must stay linear", row[0], per, base)
+				}
+			}
+			return nil
+		}},
+		{"fig10", "four-ssd-aggregate", func(r *experiments.Result) error {
+			total, err := labelledCell(r, "4", 1)
+			if err != nil {
+				return err
+			}
+			if total < 12 {
+				return fmt.Errorf("4-SSD aggregate %.2f GB/s under 12 GB/s (paper: 12.6 GB/s)", total)
+			}
+			return nil
+		}},
+
+		// --- Fig. 11: VM scaling and fairness ---
+		{"fig11", "vm-scaling-monotone-to-saturation", func(r *experiments.Result) error {
+			prev := -1.0
+			for i, row := range r.Rows {
+				total, err := cell(r, i, 1)
+				if err != nil {
+					return err
+				}
+				if total < prev*0.99 {
+					return fmt.Errorf("%s VMs: total %.2f GB/s drops below the %.2f GB/s reached earlier; throughput must scale then saturate", row[0], total, prev)
+				}
+				if total > prev {
+					prev = total
+				}
+			}
+			if prev < 12 {
+				return fmt.Errorf("saturated total %.2f GB/s under 12 GB/s (paper: 12.40 GB/s at 16 VMs)", prev)
+			}
+			return nil
+		}},
+		{"fig11", "vm-allocation-balanced", func(r *experiments.Result) error {
+			for i, row := range r.Rows {
+				ratio, err := cell(r, i, 4)
+				if err != nil {
+					return err
+				}
+				if ratio > 1.25 {
+					return fmt.Errorf("%s VMs: max/min per-VM bandwidth %.2f > 1.25; the paper's allocation is balanced", row[0], ratio)
+				}
+			}
+			return nil
+		}},
+
+		// --- Fig. 12: tail-latency fairness ---
+		{"fig12", "per-vm-tails-coincide", func(r *experiments.Result) error {
+			// Group rows by case; within a case the four VMs' p99s must
+			// agree within 10%.
+			perCase := map[string][]float64{}
+			var order []string
+			for i, row := range r.Rows {
+				p99, err := cell(r, i, 3)
+				if err != nil {
+					return err
+				}
+				if _, ok := perCase[row[0]]; !ok {
+					order = append(order, row[0])
+				}
+				perCase[row[0]] = append(perCase[row[0]], p99)
+			}
+			for _, c := range order {
+				lo, hi := minMax(perCase[c])
+				if hi > lo*1.10 {
+					return fmt.Errorf("%s: per-VM p99 spread %.1f..%.1fus exceeds 10%%; the paper's distributions nearly coincide", c, lo, hi)
+				}
+			}
+			return nil
+		}},
+
+		// --- Fig. 13a: TPC-C ---
+		{"fig13a", "bms-near-native-beats-spdk", func(r *experiments.Result) error {
+			bms, err := labelledCell(r, "BM-Store", 3)
+			if err != nil {
+				return err
+			}
+			spdk, err := labelledCell(r, "SPDK vhost", 3)
+			if err != nil {
+				return err
+			}
+			if bms < 0.95 {
+				return fmt.Errorf("BM-Store normalized transactions %.3f under 0.95 of native", bms)
+			}
+			if bms <= spdk {
+				return fmt.Errorf("BM-Store (%.3f) not ahead of SPDK vhost (%.3f); the paper has up to 13.4%% more transactions", bms, spdk)
+			}
+			return nil
+		}},
+
+		// --- Fig. 13b + Table VIII: Sysbench ---
+		{"fig13b+table8", "bms-qps-and-latency-beat-spdk", func(r *experiments.Result) error {
+			bmsQPS, err := labelledCell(r, "BM-Store", 4)
+			if err != nil {
+				return err
+			}
+			spdkQPS, err := labelledCell(r, "SPDK vhost", 4)
+			if err != nil {
+				return err
+			}
+			if bmsQPS < 0.95 {
+				return fmt.Errorf("BM-Store normalized QPS %.3f under 0.95 of native", bmsQPS)
+			}
+			if bmsQPS <= spdkQPS {
+				return fmt.Errorf("BM-Store QPS (%.3f) not ahead of SPDK vhost (%.3f)", bmsQPS, spdkQPS)
+			}
+			bmsLat, err := labelledCell(r, "BM-Store", 5)
+			if err != nil {
+				return err
+			}
+			spdkLat, err := labelledCell(r, "SPDK vhost", 5)
+			if err != nil {
+				return err
+			}
+			if bmsLat >= spdkLat {
+				return fmt.Errorf("BM-Store latency vs VFIO (%+.1f%%) not below SPDK's (%+.1f%%)", bmsLat, spdkLat)
+			}
+			return nil
+		}},
+
+		// --- Fig. 14: mixed workloads ---
+		{"fig14", "bms-beats-spdk-per-vm", func(r *experiments.Result) error {
+			cols := []struct {
+				col            int
+				higherIsBetter bool
+			}{{1, true}, {2, true}, {3, false}, {4, false}}
+			for _, c := range cols {
+				col, higherIsBetter := c.col, c.higherIsBetter
+				bms, err := labelledCell(r, "BM-Store", col)
+				if err != nil {
+					return err
+				}
+				spdk, err := labelledCell(r, "SPDK vhost", col)
+				if err != nil {
+					return err
+				}
+				if higherIsBetter && bms <= spdk {
+					return fmt.Errorf("%s: BM-Store %.0f not above SPDK %.0f", r.Header[col], bms, spdk)
+				}
+				if !higherIsBetter && bms >= spdk {
+					return fmt.Errorf("%s: BM-Store %.2fms not below SPDK %.2fms", r.Header[col], bms, spdk)
+				}
+			}
+			return nil
+		}},
+
+		// --- Table IX + Fig. 15: hot-upgrade availability ---
+		{"table9+fig15", "hot-upgrade-zero-errors", func(r *experiments.Result) error {
+			for i, row := range r.Rows {
+				errs, err := cell(r, i, 6)
+				if err != nil {
+					return err
+				}
+				if errs != 0 {
+					return fmt.Errorf("%s upgrade %s: %.0f tenant I/O errors; the paper's upgrades are error-free", row[0], row[1], errs)
+				}
+			}
+			return nil
+		}},
+		{"table9+fig15", "engine-processing-100ms", func(r *experiments.Result) error {
+			for i, row := range r.Rows {
+				proc, err := cell(r, i, 4)
+				if err != nil {
+					return err
+				}
+				if b := (band{60, 250}); !b.contains(proc) {
+					return fmt.Errorf("%s upgrade %s: BM-Store processing %.0fms outside band %s (paper: ~100ms)", row[0], row[1], proc, b)
+				}
+				total, err := cell(r, i, 2)
+				if err != nil {
+					return err
+				}
+				reset, err := cell(r, i, 3)
+				if err != nil {
+					return err
+				}
+				if total < reset {
+					return fmt.Errorf("%s upgrade %s: total %.0fms under SSD reset %.0fms", row[0], row[1], total, reset)
+				}
+			}
+			return nil
+		}},
+		{"table9+fig15", "fig15-timeline-shows-pause", func(r *experiments.Result) error {
+			timelines := 0
+			for _, n := range r.Notes {
+				if !strings.Contains(n, "kIOPS/bin:") {
+					continue
+				}
+				timelines++
+				if !strings.Contains(n, " 0.0") {
+					return fmt.Errorf("timeline %q never dips to zero; the Fig. 15 I/O pause is missing", firstWords(n, 4))
+				}
+			}
+			if timelines < 2 {
+				return fmt.Errorf("%d kIOPS/bin timelines, want one per pattern (2)", timelines)
+			}
+			return nil
+		}},
+
+		// --- TCO ---
+		{"tco", "bms-sells-more-instances", func(r *experiments.Result) error {
+			spdk, err := cell(r, 0, 1)
+			if err != nil {
+				return err
+			}
+			bms, err := cell(r, 1, 1)
+			if err != nil {
+				return err
+			}
+			if bms <= spdk {
+				return fmt.Errorf("BM-Store sells %.0f instances vs SPDK's %.0f; reclaiming polling cores must win capacity", bms, spdk)
+			}
+			return nil
+		}},
+
+		// --- Table I: feature matrix ---
+		{"table1", "bmstore-has-every-feature", func(r *experiments.Result) error {
+			col := len(r.Header) - 1
+			for _, row := range r.Rows {
+				if row[col] != "yes" {
+					return fmt.Errorf("BM-Store lacks %q; Table I claims every feature", row[0])
+				}
+			}
+			return nil
+		}},
+
+		// --- Ablations ---
+		{"abl-zerocopy", "zero-copy-beats-staging", func(r *experiments.Result) error {
+			zc, err := cell(r, 0, 1)
+			if err != nil {
+				return err
+			}
+			saf, err := cell(r, 1, 1)
+			if err != nil {
+				return err
+			}
+			if zc < saf*1.5 {
+				return fmt.Errorf("zero-copy %.2f GB/s not >= 1.5x store-and-forward %.2f GB/s; the DMA-routing ablation lost its point", zc, saf)
+			}
+			return nil
+		}},
+		{"abl-qos", "qos-cap-restores-victim-latency", func(r *experiments.Result) error {
+			uncapped, err := cell(r, 0, 1)
+			if err != nil {
+				return err
+			}
+			capped, err := cell(r, 1, 1)
+			if err != nil {
+				return err
+			}
+			if capped >= uncapped/2 {
+				return fmt.Errorf("victim p99 %.1fus capped vs %.1fus uncapped; the QoS cap must cut tail latency at least in half", capped, uncapped)
+			}
+			return nil
+		}},
+	}
+}
+
+// CheckShapes evaluates every rule whose artifact is present in results.
+// Rules for absent artifacts are skipped (a partial -only run), never
+// counted. A rule error — including malformed/unparseable cells — is a
+// ShapeViolation naming the rule.
+func CheckShapes(results []experiments.Result) *Report {
+	rep := &Report{}
+	byID := make(map[string]*experiments.Result, len(results))
+	for i := range results {
+		byID[results[i].ID] = &results[i]
+	}
+	for _, rule := range Rules() {
+		res, ok := byID[rule.Artifact]
+		if !ok {
+			continue
+		}
+		rep.Rules++
+		if err := rule.Check(res); err != nil {
+			rep.add(Finding{Artifact: rule.Artifact, Kind: ShapeViolation, Rule: rule.Name, Detail: err.Error()})
+		}
+	}
+	rep.sortFindings()
+	return rep
+}
+
+// kiopsRange scans table6 rows whose OS column starts with prefix and
+// returns the min and max kIOPS.
+func kiopsRange(r *experiments.Result, prefix string) (lo, hi float64, err error) {
+	found := false
+	for i, row := range r.Rows {
+		if !strings.HasPrefix(row[0], prefix) {
+			continue
+		}
+		v, err := cell(r, i, 2)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !found {
+			lo, hi, found = v, v, true
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("%s: no %s rows", r.ID, prefix)
+	}
+	return lo, hi, nil
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+func firstWords(s string, n int) string {
+	f := strings.Fields(s)
+	if len(f) > n {
+		f = f[:n]
+	}
+	return strings.Join(f, " ")
+}

@@ -1,0 +1,213 @@
+package fidelity
+
+import (
+	"strings"
+	"testing"
+
+	"bmstore/internal/experiments"
+)
+
+// setCell mutates one cell addressed by row label.
+func setCell(t *testing.T, r *experiments.Result, label string, col int, v string) {
+	t.Helper()
+	row, err := r.RowByLabel(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Rows[row][col] = v
+}
+
+func TestShapeRulesPassOnCheckedInGoldens(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	rep := CheckShapes(goldens)
+	if !rep.OK() {
+		t.Fatalf("checked-in goldens violate the paper shape: %v", rep.Findings)
+	}
+	// Every rule must have found its artifact: a renamed table silently
+	// disabling a rule is exactly the failure mode this guards against.
+	if rep.Rules != len(Rules()) {
+		t.Fatalf("evaluated %d of %d rules — some rule's artifact id no longer matches", rep.Rules, len(Rules()))
+	}
+}
+
+// Each planted violation must trip exactly the named rule: perturb one
+// curve point / one cell, get the expected failure, not a neighbour's.
+func TestPlantedShapeViolations(t *testing.T) {
+	cases := []struct {
+		rule   string // expected "<artifact>/<rule name>"
+		mutate func(t *testing.T, res []experiments.Result)
+	}{
+		{"fig1/spdk-core-scaling-monotone", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig1"), "6", 1, "2000") // dip below the 4-core point
+		}},
+		{"fig1/spdk-80pct-knee-at-8-10-cores", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig1"), "10", 2, "75.0") // never reaches 80%
+		}},
+		{"fig1/spdk-80pct-knee-at-8-10-cores", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig1"), "6", 2, "85.0") // knee too early
+		}},
+		{"fig8+table5/bms-native-ratio-bands", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig8+table5"), "rand-r-128", 7, "50.0%")
+		}},
+		{"fig8+table5/bms-qd1-latency-delta-3us", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig8+table5"), "rand-r-1", 6, "95.0") // ~18us delta
+		}},
+		{"table6/centos-kernels-identical-iops", func(t *testing.T, res []experiments.Result) {
+			t6 := byID(t, res, "table6")
+			t6.Rows[0][2] = "700" // one CentOS kernel suddenly faster
+		}},
+		{"table6/fedora-below-centos", func(t *testing.T, res []experiments.Result) {
+			t6 := byID(t, res, "table6")
+			for i, row := range t6.Rows {
+				if strings.HasPrefix(row[0], "Fedora") {
+					t6.Rows[i][2] = "700" // Fedora above CentOS
+					return
+				}
+			}
+			t.Fatal("no Fedora row")
+		}},
+		{"fig9+table7/bms-near-vfio", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig9+table7"), "rand-r-1", 7, "70.0%")
+		}},
+		{"fig9+table7/spdk-seqread-collapse", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig9+table7"), "seq-r-256", 8, "95.0%") // collapse vanished
+		}},
+		{"fig9+table7/spdk-lags-on-writes", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig9+table7"), "rand-w-16", 8, "95.0%")
+		}},
+		{"fig9+table7/bms-beats-spdk", func(t *testing.T, res []experiments.Result) {
+			fig9 := byID(t, res, "fig9+table7")
+			setCell(t, fig9, "rand-r-128", 7, "91.0%") // stays inside near-vfio band
+			setCell(t, fig9, "rand-r-128", 8, "93.0%") // but now loses to SPDK
+		}},
+		{"fig10/linear-ssd-scaling", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig10"), "4", 2, "2.00")
+		}},
+		{"fig10/four-ssd-aggregate", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig10"), "4", 1, "10.00")
+		}},
+		{"fig11/vm-scaling-monotone-to-saturation", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig11"), "8", 1, "6.00") // throughput collapses after the peak
+		}},
+		{"fig11/vm-allocation-balanced", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig11"), "26", 4, "2.00")
+		}},
+		{"fig12/per-vm-tails-coincide", func(t *testing.T, res []experiments.Result) {
+			fig12 := byID(t, res, "fig12")
+			fig12.Rows[0][3] = "3000.0" // one VM's p99 runs away
+		}},
+		{"fig13a/bms-near-native-beats-spdk", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig13a"), "BM-Store", 3, "0.800")
+		}},
+		{"fig13b+table8/bms-qps-and-latency-beat-spdk", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig13b+table8"), "BM-Store", 4, "0.900")
+		}},
+		{"fig14/bms-beats-spdk-per-vm", func(t *testing.T, res []experiments.Result) {
+			setCell(t, byID(t, res, "fig14"), "BM-Store", 1, "100000")
+		}},
+		{"table9+fig15/hot-upgrade-zero-errors", func(t *testing.T, res []experiments.Result) {
+			t9 := byID(t, res, "table9+fig15")
+			t9.Rows[0][6] = "3"
+		}},
+		{"table9+fig15/engine-processing-100ms", func(t *testing.T, res []experiments.Result) {
+			t9 := byID(t, res, "table9+fig15")
+			t9.Rows[0][4] = "500"
+		}},
+		{"table9+fig15/fig15-timeline-shows-pause", func(t *testing.T, res []experiments.Result) {
+			t9 := byID(t, res, "table9+fig15")
+			for i, n := range t9.Notes {
+				t9.Notes[i] = strings.ReplaceAll(n, " 0.0", " 5.0") // erase the dip
+			}
+		}},
+		{"tco/bms-sells-more-instances", func(t *testing.T, res []experiments.Result) {
+			byID(t, res, "tco").Rows[1][1] = "10"
+		}},
+		{"table1/bmstore-has-every-feature", func(t *testing.T, res []experiments.Result) {
+			t1 := byID(t, res, "table1")
+			t1.Rows[2][len(t1.Header)-1] = "-" // transparency checkbox lost
+		}},
+		{"abl-zerocopy/zero-copy-beats-staging", func(t *testing.T, res []experiments.Result) {
+			abl := byID(t, res, "abl-zerocopy")
+			abl.Rows[0][1] = "7.00" // zero-copy barely above the staging bound
+		}},
+		{"abl-qos/qos-cap-restores-victim-latency", func(t *testing.T, res []experiments.Result) {
+			abl := byID(t, res, "abl-qos")
+			abl.Rows[1][1] = "9000.0" // cap no longer rescues the victim
+		}},
+	}
+
+	goldens := loadRepoGoldens(t)
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			parts := strings.SplitN(tc.rule, "/", 2)
+			artifact, rule := parts[0], parts[1]
+			mutated := clone(goldens)
+			tc.mutate(t, mutated)
+			rep := CheckShapes(mutated)
+			found := false
+			for _, f := range rep.Findings {
+				if f.Kind != ShapeViolation {
+					t.Errorf("non-shape finding from CheckShapes: %+v", f)
+				}
+				if f.Artifact == artifact && f.Rule == rule {
+					found = true
+					if f.Detail == "" {
+						t.Errorf("violation of %s has no detail", tc.rule)
+					}
+				} else if f.Artifact != artifact {
+					t.Errorf("mutation of %s tripped unrelated artifact %s (rule %s)", artifact, f.Artifact, f.Rule)
+				}
+			}
+			if !found {
+				t.Fatalf("planted violation of %s not detected; findings: %v", tc.rule, rep.Findings)
+			}
+		})
+	}
+}
+
+// Tolerance bands are inclusive: a value landing exactly on a boundary
+// passes; one past it by a tenth fails. Pinned here so edge values never
+// flap between green and red.
+func TestBandBoundaryInclusive(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	for _, tc := range []struct {
+		value string
+		ok    bool
+	}{
+		{"90.0%", true},   // exactly on the lower boundary
+		{"104.0%", true},  // exactly on the upper boundary
+		{"89.9%", false},  // a tenth below
+		{"104.1%", false}, // a tenth above
+	} {
+		mutated := clone(goldens)
+		setCell(t, byID(t, mutated, "fig8+table5"), "rand-r-128", 7, tc.value)
+		rep := CheckShapes(mutated)
+		violated := false
+		for _, f := range rep.Findings {
+			if f.Artifact == "fig8+table5" && f.Rule == "bms-native-ratio-bands" {
+				violated = true
+			}
+		}
+		if violated == tc.ok {
+			t.Errorf("ratio %s: violated=%v, want pass=%v", tc.value, violated, tc.ok)
+		}
+	}
+}
+
+// A malformed cell (unparseable where a number is required) is a loud
+// shape violation, not a skipped check.
+func TestMalformedCellIsViolation(t *testing.T) {
+	goldens := loadRepoGoldens(t)
+	mutated := clone(goldens)
+	setCell(t, byID(t, mutated, "fig10"), "4", 1, "n/a")
+	rep := CheckShapes(mutated)
+	found := false
+	for _, f := range rep.Findings {
+		if f.Artifact == "fig10" && strings.Contains(f.Detail, "not numeric") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("malformed cell slipped through: %v", rep.Findings)
+	}
+}

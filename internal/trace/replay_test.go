@@ -279,21 +279,28 @@ func tinyScale() experiments.Scale {
 }
 
 // sweep runs a representative subset of the evaluation at the given
-// parallelism and returns the rendered tables plus the per-rig and combined
-// trace digests.
-func sweep(parallel int) (string, [][2]string, string) {
+// parallelism and returns the rendered tables, the fidelity JSON export,
+// and the per-rig and combined trace digests.
+func sweep(parallel int) (string, string, [][2]string, string) {
 	set := trace.NewSet(trace.Options{})
 	h := experiments.NewHarness(tinyScale(), parallel, set)
 	// fig13a rides along to pin the app stack (minidb checkpoints once
 	// issued page I/O in map-iteration order — caught exactly here).
 	pick := map[string]bool{"fig1": true, "fig12": true, "fig13a": true, "abl-zerocopy": true, "abl-qos": true}
 	var buf bytes.Buffer
+	rset := &experiments.ResultSet{Scale: "tiny"}
 	for _, e := range experiments.All() {
 		if pick[e.ID] {
-			e.Run(h).Render(&buf)
+			tab := e.Run(h)
+			tab.Render(&buf)
+			rset.Results = append(rset.Results, tab.Result())
 		}
 	}
-	return buf.String(), set.PerRig(), set.Digest()
+	var jsonBuf bytes.Buffer
+	if err := rset.WriteJSON(&jsonBuf); err != nil {
+		panic(err)
+	}
+	return buf.String(), jsonBuf.String(), set.PerRig(), set.Digest()
 }
 
 // TestSerialParallelEquivalence is the tentpole's contract: fanning rigs out
@@ -301,11 +308,16 @@ func sweep(parallel int) (string, [][2]string, string) {
 // byte-identical, every per-rig digest must match, and the combined digest
 // (folded in sorted-name order, independent of completion order) must match.
 func TestSerialParallelEquivalence(t *testing.T) {
-	serialTabs, serialRigs, serialDigest := sweep(1)
-	parTabs, parRigs, parDigest := sweep(4)
+	serialTabs, serialJSON, serialRigs, serialDigest := sweep(1)
+	parTabs, parJSON, parRigs, parDigest := sweep(4)
 
 	if serialTabs != parTabs {
 		t.Errorf("rendered tables differ between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s", serialTabs, parTabs)
+	}
+	// The fidelity export rides on the same guarantee: the -json bytes the
+	// figures gate consumes must be identical at any worker count.
+	if serialJSON != parJSON {
+		t.Errorf("fidelity JSON export differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s", serialJSON, parJSON)
 	}
 	if len(serialRigs) == 0 {
 		t.Fatal("sweep produced no traced rigs")

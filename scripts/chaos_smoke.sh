@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # CI smoke for the chaos-campaign subsystem: run a fixed-seed campaign —
 # seeded fault schedules (benign and data-hazard regimes) under the
 # write-then-verify workload — twice, serial and parallel. The campaign must
@@ -8,7 +8,7 @@
 # campaign the report already names each failing seed with its
 # copy-pasteable `fiosim -chaos <seed>,1` replay; it is echoed here so the
 # CI log carries the recipe.
-set -e
+set -euo pipefail
 
 CAMPAIGN='1,12'
 

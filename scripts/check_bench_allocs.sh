@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Alloc-regression gate for the simulation kernel's hot path.
 #
 # Runs the scheduler throughput benchmarks with -benchmem and compares each
@@ -11,7 +11,7 @@
 # sampling), so a short run is deterministic. The only 100x artifact is
 # one-time warm-up cost showing through the per-op average; the committed
 # baselines account for it.
-set -eu
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline=scripts/bench_allocs_baseline.txt

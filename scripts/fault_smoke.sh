@@ -1,16 +1,18 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # CI smoke for the fault-injection subsystem: run fiosim with injected
 # faults (an SSD controller stall plus recurring slow media reads) twice,
 # serial and parallel. The run must complete — the host driver's
 # timeout/abort/retry machinery absorbs every fault — report a nonzero
 # injected count, and print byte-identical results and trace digests for
 # any -parallel value.
-set -e
+set -euo pipefail
 
 SPEC='ssd-stall,t=10ms,dur=8ms;media-slow,nth=50,count=-1,dur=1ms'
 ARGS="-scheme bmstore -rw randrw -iodepth 8 -numjobs 2 -runtime 30ms -runs 2 -trace-digest"
 
+# shellcheck disable=SC2086 # ARGS is a deliberate word-split flag list
 out_serial=$(go run ./cmd/fiosim $ARGS -faults "$SPEC" -parallel 1 2>/dev/null)
+# shellcheck disable=SC2086
 out_parallel=$(go run ./cmd/fiosim $ARGS -faults "$SPEC" -parallel 2 2>/dev/null)
 
 if [ "$out_serial" != "$out_parallel" ]; then
