@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke bench-smoke bench-gate flaky figures-gate goldens
+.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke bench-smoke bench-gate bench-json bench-baseline profile-sweep flaky figures-gate goldens
 
 all: build test
 
@@ -63,10 +63,33 @@ chaos-smoke:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Alloc-regression gate: the kernel throughput benchmarks must stay at the
-# committed allocs/op baseline (scripts/bench_allocs_baseline.txt).
+# Alloc-regression gate: the kernel throughput benchmarks AND the
+# end-to-end I/O path benchmark must stay at the committed allocs/op
+# baseline (scripts/bench_allocs_baseline.txt).
 bench-gate:
 	bash scripts/check_bench_allocs.sh
+
+# Re-bless the alloc baselines after an intentional allocation change; the
+# commit diff is the written justification the baseline header asks for.
+bench-baseline:
+	bash scripts/bless_bench_allocs.sh
+
+# Machine-readable performance snapshot: fast-sweep wall clock (serial and
+# parallel), ns/event, and allocs/op of the gated benchmarks, written to
+# BENCH_7.json (override with BENCH_JSON_OUT). CI uploads it as an artifact.
+bench-json:
+	bash scripts/bench_json.sh
+
+# CPU and heap profile of the serial fast sweep plus pprof -top summaries;
+# artifacts land in PROFILE_OUT (default /tmp/bmstore-profile).
+PROFILE_OUT ?= /tmp/bmstore-profile
+profile-sweep:
+	mkdir -p $(PROFILE_OUT)
+	$(GO) run ./cmd/bmstore-bench -scale fast -parallel 1 \
+		-cpuprofile $(PROFILE_OUT)/cpu.pprof -memprofile $(PROFILE_OUT)/mem.pprof \
+		> $(PROFILE_OUT)/bench_tables.txt
+	$(GO) tool pprof -top -nodecount=25 $(PROFILE_OUT)/cpu.pprof
+	$(GO) tool pprof -top -nodecount=25 -sample_index=alloc_objects $(PROFILE_OUT)/mem.pprof
 
 # Paper-fidelity gate: regenerate the fast evaluation sweep, compare every
 # structured Result against goldens/*.json (exact cells + the paper-shape

@@ -50,6 +50,12 @@ type Config struct {
 	// it off; integrity-sensitive work leaves it on.
 	CaptureData bool
 
+	// DisableFastPath forces the classic process-per-command data path even
+	// on rigs with no tracer or fault injector. The event-fused fast path is
+	// timing-neutral by construction (see DESIGN.md §11), so this exists for
+	// A/B verification and debugging, not correctness.
+	DisableFastPath bool
+
 	Engine     engine.Config
 	Controller controller.Config
 	// BMCLatency is the console <-> card network + BMC forwarding delay.
@@ -168,6 +174,9 @@ func newEnv(cfg Config) *sim.Env {
 	}
 	if len(cfg.Faults) > 0 {
 		env.SetFaults(fault.New(cfg.Faults...))
+	}
+	if cfg.DisableFastPath {
+		env.SetFastPath(false)
 	}
 	return env
 }

@@ -51,6 +51,7 @@ func main() {
 	writeGoldens := flag.String("write-goldens", "", "bless the current results as goldens in this directory (refused if they violate the paper shape)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	classic := flag.Bool("classic", false, "force the classic process-per-command data path (A/B baseline; output is identical, only wall-clock changes)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -127,7 +128,7 @@ func main() {
 		mset = obs.NewSet(obs.Options{SeriesInterval: obs.DefaultSeriesInterval})
 	}
 
-	h := experiments.NewHarness(sc, *parallel, traces).WithMetrics(mset)
+	h := experiments.NewHarness(sc, *parallel, traces).WithMetrics(mset).WithClassicPath(*classic)
 
 	fmt.Printf("BM-Store evaluation reproduction (scale=%s)\n\n", sc.Name)
 	sweepStart := time.Now()

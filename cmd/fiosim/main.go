@@ -58,6 +58,7 @@ func main() {
 	metricsOn := flag.Bool("metrics", false, "collect metrics and print the per-component summary")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, otherwise JSON; - for stdout)")
 	breakdown := flag.Bool("breakdown", false, "print the per-stage request latency breakdown table")
+	classic := flag.Bool("classic", false, "force the classic process-per-command data path (A/B baseline; output is identical, only wall-clock changes)")
 	flag.Parse()
 
 	if *chaosSpec != "" {
@@ -136,6 +137,7 @@ func main() {
 		cfg.Seed = *seed + int64(i)
 		cfg.NumSSDs = *ssds
 		cfg.Faults = rules
+		cfg.DisableFastPath = *classic
 		if traces != nil {
 			tracers[i] = traces.Tracer(fmt.Sprintf("run%04d", i))
 			cfg.Tracer = tracers[i]

@@ -1,0 +1,119 @@
+package bmstore
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"bmstore/internal/fio"
+	"bmstore/internal/host"
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+)
+
+// abOutcome is everything one A/B run produces: the fio aggregates of a
+// mixed random and a large-block sequential workload, the rig's final
+// virtual clock, and the bytes read back from a payload round trip.
+type abOutcome struct {
+	rand *fio.Result
+	seq  *fio.Result
+	end  sim.Time
+	data []byte
+}
+
+// runAB executes the identical scenario on the fused fast path
+// (classic=false) or the classic process-per-command path (classic=true).
+// CaptureData is on, so the fast path's pooled staging buffers and PRP
+// segment caches carry real payload bytes — a stale pooled buffer would
+// corrupt the round-trip data, not just the timing.
+func runAB(t *testing.T, classic bool) abOutcome {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	cfg.NumSSDs = 2
+	cfg.CaptureData = true
+	cfg.DisableFastPath = classic
+	cfg.Engine.ChunkBytes = 1 << 24
+	cfg.SSD = func(i int) ssd.Config {
+		c := ssd.P4510("AB" + string(rune('A'+i)))
+		c.CapacityBytes = 1 << 30
+		return c
+	}
+	tb, err := NewBMStoreTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out abOutcome
+	tb.Run(func(p *sim.Proc) {
+		if err := tb.Console.CreateNamespace(p, "vol", 64<<20, []int{0, 1}); err != nil {
+			panic(err)
+		}
+		if err := tb.Console.Bind(p, "vol", 0); err != nil {
+			panic(err)
+		}
+		drv, err := tb.AttachTenant(p, 0, host.DefaultDriverConfig())
+		if err != nil {
+			panic(err)
+		}
+		devs := []host.BlockDevice{drv.BlockDev(0), drv.BlockDev(1)}
+		out.rand = fio.Run(p, devs, fio.Spec{
+			Name: "ab-randrw", Pattern: fio.RandRW, BlockSize: 4096,
+			IODepth: 16, NumJobs: 2, Runtime: 4 * sim.Millisecond,
+		})
+		// 128 KiB blocks force the PRP-list walk and multi-sub splitting.
+		out.seq = fio.Run(p, devs, fio.Spec{
+			Name: "ab-seq", Pattern: fio.SeqWrite, BlockSize: 128 << 10,
+			IODepth: 8, NumJobs: 2, Runtime: 4 * sim.Millisecond,
+		})
+		// Payload round trip after thousands of pooled-buffer reuses: write a
+		// recognisable pattern, flush, read it back.
+		bd := devs[0]
+		data := make([]byte, 64<<10)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		if err := bd.WriteAt(p, 900, 16, data); err != nil {
+			panic(err)
+		}
+		if fl, ok := bd.(interface{ Flush(*sim.Proc) error }); ok {
+			if err := fl.Flush(p); err != nil {
+				panic(err)
+			}
+		} else {
+			panic("block device lost its Flush method")
+		}
+		out.data = make([]byte, 64<<10)
+		if err := bd.ReadAt(p, 900, 16, out.data); err != nil {
+			panic(err)
+		}
+		if !bytes.Equal(out.data, data) {
+			panic("payload round trip corrupted the data")
+		}
+		out.end = p.Now()
+	})
+	return out
+}
+
+// TestFastPathClassicEquivalence is the tentpole's timing-neutrality
+// contract from the workload's point of view: the event-fused fast path and
+// the classic process-per-command path must agree on every observable — the
+// virtual clock, every fio aggregate including full latency histograms, and
+// the payload bytes. DisableFastPath may change wall-clock cost only.
+func TestFastPathClassicEquivalence(t *testing.T) {
+	fast := runAB(t, false)
+	classic := runAB(t, true)
+	if fast.end != classic.end {
+		t.Fatalf("virtual end time diverged: fast %d, classic %d", fast.end, classic.end)
+	}
+	if !reflect.DeepEqual(fast.rand, classic.rand) {
+		t.Errorf("rand-rw fio results diverged:\nfast:    IOPS %.1f lat %.2fus\nclassic: IOPS %.1f lat %.2fus",
+			fast.rand.IOPS(), fast.rand.AvgLatencyUS(), classic.rand.IOPS(), classic.rand.AvgLatencyUS())
+	}
+	if !reflect.DeepEqual(fast.seq, classic.seq) {
+		t.Errorf("seq fio results diverged:\nfast:    BW %.1f MB/s lat %.2fus\nclassic: BW %.1f MB/s lat %.2fus",
+			fast.seq.BandwidthMBs(), fast.seq.AvgLatencyUS(), classic.seq.BandwidthMBs(), classic.seq.AvgLatencyUS())
+	}
+	if !bytes.Equal(fast.data, classic.data) {
+		t.Error("payload round trip bytes diverged between fast and classic paths")
+	}
+}

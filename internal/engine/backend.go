@@ -44,6 +44,11 @@ type backend struct {
 	ready  bool
 	nextRR int
 
+	// Data-path free lists (see fastpath.go).
+	submitFree []*beSubmit
+	pendFree   []*bePending
+	doneFree   []*doneMsg
+
 	// Per-backend instruments (nil-safe no-ops when metrics are off).
 	mInflight *obs.Gauge
 	mSubmits  *obs.Counter
@@ -297,7 +302,7 @@ func (b *backend) submitIO(p *sim.Proc, cmd nvme.Command, qhint int, skey uint64
 		b.mInflight.Inc(b.e.env.Now())
 		b.mSubmits.Inc()
 	}
-	b.pending[cid] = &bePending{sq: sq, done: done}
+	b.pending[cid] = b.getPending(sq, done)
 	b.push(sq, cmd)
 }
 
@@ -342,7 +347,10 @@ func (b *backend) complete(cpl nvme.Completion) {
 			b.drainEv.Trigger(nil)
 		}
 	}
-	b.e.env.Schedule(b.e.cfg.CompleteLatency, func() { pend.done(cpl) })
+	done := pend.done
+	pend.sq, pend.done = nil, nil
+	b.pendFree = append(b.pendFree, pend)
+	b.scheduleDone(done, cpl)
 }
 
 // --- quiesce gate (hot-upgrade / hot-plug support) ---

@@ -83,6 +83,14 @@ type Engine struct {
 	chip     *hostmem.Memory
 	free     []uint64 // recycled chip-memory pages for PRP lists
 
+	// fast is true when the rig is eligible for the event-fused I/O path
+	// (no tracer, no fault injector); cached at construction like tr/met.
+	fast bool
+	// Data-path free lists (see fastpath.go).
+	feIOFree  []*feIO
+	feIRQFree []*feIRQ
+	pageFree  [][]byte
+
 	funcs    []*function
 	backends []*backend
 
@@ -108,6 +116,7 @@ func New(env *sim.Env, cfg Config) *Engine {
 		tr:       env.Tracer(),
 		met:      env.Metrics(),
 		flt:      env.Faults(),
+		fast:     env.FastPath(),
 		chip:     hostmem.New(cfg.ChipMemBytes),
 		Firmware: "BMS_1.0",
 	}

@@ -1,0 +1,527 @@
+package engine
+
+// This file implements the BMS-Engine's event-fused I/O fast path: the
+// continuation-passing rewrite of the front-end fetch loop, the Fig. 6
+// pipeline (dispatch → map → QoS → PRP rewrite → forward), and the backend
+// submit path. It follows the same rules as the SSD's fast path (see
+// internal/ssd/fastpath.go and DESIGN.md §11): every virtual-time sleep
+// becomes an Env.Schedule at the identical program point, synchronous steps
+// keep their call order, and per-command records come from free lists. The
+// path is only taken when Env.FastPath holds (no tracer, no fault injector);
+// admin queues always use the classic process-based path.
+
+import (
+	"encoding/binary"
+
+	"bmstore/internal/nvme"
+	"bmstore/internal/obs"
+	"bmstore/internal/pcie"
+	"bmstore/internal/sim"
+)
+
+// after runs fn once delay has elapsed, mirroring Proc.Sleep's
+// run-immediately semantics at zero delay.
+func (e *Engine) after(delay sim.Time, fn func()) {
+	if delay > 0 {
+		e.env.Schedule(delay, fn)
+		return
+	}
+	fn()
+}
+
+func (e *Engine) getPage() []byte {
+	if n := len(e.pageFree); n > 0 {
+		b := e.pageFree[n-1]
+		e.pageFree = e.pageFree[:n-1]
+		return b
+	}
+	return make([]byte, nvme.PageSize)
+}
+
+// feFetch is the continuation form of the front-end fetchLoop, one per I/O
+// submission queue.
+type feFetch struct {
+	f   *function
+	sq  *feSQ
+	buf [nvme.SQESize]byte
+
+	pendCmd  nvme.Command
+	pendHead uint32
+
+	stepFn     func()
+	decodedFn  func()
+	dispatchFn func()
+}
+
+func newFeFetch(f *function, sq *feSQ) *feFetch {
+	ff := &feFetch{f: f, sq: sq}
+	ff.stepFn = ff.step
+	ff.decodedFn = ff.decoded
+	ff.dispatchFn = ff.dispatch
+	return ff
+}
+
+func (ff *feFetch) step() {
+	f, sq := ff.f, ff.sq
+	if sq.head == sq.tail {
+		sq.fetching = false
+		return
+	}
+	if !f.enabled {
+		sq.fetching = false
+		return
+	}
+	done := f.e.hostPort.DMARead(sq.ring.SlotAddr(sq.head), nvme.SQESize, ff.buf[:])
+	f.e.after(done-f.e.env.Now(), ff.decodedFn)
+}
+
+func (ff *feFetch) decoded() {
+	f, sq := ff.f, ff.sq
+	ff.pendCmd = nvme.DecodeCommand(&ff.buf)
+	sq.head = sq.ring.Next(sq.head)
+	ff.pendHead = sq.head
+	f.e.after(f.e.cfg.FetchLatency, ff.dispatchFn)
+}
+
+// dispatch starts the command's pipeline one queue hop from now (the classic
+// process-start position) and continues fetching immediately.
+func (ff *feFetch) dispatch() {
+	e := ff.f.e
+	io := e.getFeIO(ff.f, ff.sq, ff.pendCmd, ff.pendHead)
+	e.env.Schedule(0, io.startFn)
+	ff.step()
+}
+
+// cpsHostPRP is the retry-walk reader for host-memory PRP lists: the
+// continuation counterpart of hostPRPReader, fetching one missing list page
+// per attempt with identical DMA bookings and waits.
+type cpsHostPRP struct {
+	pages   map[uint64][]byte
+	used    []uint64
+	miss    uint64
+	missSet bool
+}
+
+func (w *cpsHostPRP) ReadU64(addr uint64) uint64 {
+	pg := addr &^ uint64(nvme.PageSize-1)
+	if b, ok := w.pages[pg]; ok {
+		return binary.LittleEndian.Uint64(b[addr-pg:])
+	}
+	if !w.missSet {
+		w.missSet = true
+		w.miss = pg
+	}
+	return 0
+}
+
+// feIO is one pooled in-flight front-end command: the continuation form of
+// handleIO / forwardFlush.
+type feIO struct {
+	e      *Engine
+	f      *function
+	sq     *feSQ
+	cmd    nvme.Command
+	sqHead uint32
+
+	ns     *Namespace
+	skey   uint64
+	slba   uint64
+	nlb    uint32
+	nBytes int
+	start0 sim.Time
+
+	extents    []Extent
+	subs       []subCommand
+	lists      []uint64
+	scratch    []nvme.Segment
+	extScratch []nvme.Segment
+	ssds       []int
+	walker     *cpsHostPRP
+
+	remaining int
+	subIdx    int
+	worst     nvme.Status
+
+	startFn       func()
+	mappedFn      func()
+	admittedFn    func(any)
+	walkFn        func()
+	forwardNextFn func()
+	forwardSubFn  func()
+	subDoneFn     func(nvme.Completion)
+	flushNextFn   func()
+	flushDoneFn   func(nvme.Completion)
+}
+
+func (e *Engine) getFeIO(f *function, sq *feSQ, cmd nvme.Command, sqHead uint32) *feIO {
+	var io *feIO
+	if n := len(e.feIOFree); n > 0 {
+		io = e.feIOFree[n-1]
+		e.feIOFree = e.feIOFree[:n-1]
+	} else {
+		io = &feIO{e: e}
+		io.startFn = io.start
+		io.mappedFn = io.mapped
+		io.admittedFn = io.admitted
+		io.walkFn = io.walkAttempt
+		io.forwardNextFn = io.forwardNext
+		io.forwardSubFn = io.forwardSub
+		io.subDoneFn = io.subDone
+		io.flushNextFn = io.flushNext
+		io.flushDoneFn = io.flushDone
+	}
+	io.f, io.sq, io.cmd, io.sqHead = f, sq, cmd, sqHead
+	return io
+}
+
+func (e *Engine) putFeIO(io *feIO) {
+	if w := io.walker; w != nil && len(w.used) > 0 {
+		for _, pg := range w.used {
+			e.pageFree = append(e.pageFree, w.pages[pg])
+			delete(w.pages, pg)
+		}
+		w.used = w.used[:0]
+	}
+	io.f, io.sq, io.ns = nil, nil, nil
+	if io.extents != nil {
+		io.extents = io.extents[:0]
+	}
+	if io.subs != nil {
+		io.subs = io.subs[:0]
+	}
+	if io.lists != nil {
+		io.lists = io.lists[:0]
+	}
+	e.feIOFree = append(e.feIOFree, io)
+}
+
+// fail posts an error completion and recycles the record: the continuation
+// form of handleIO's fail helper.
+func (io *feIO) fail(st nvme.Status) {
+	f, sq, cmd, sqHead := io.f, io.sq, io.cmd, io.sqHead
+	io.e.putFeIO(io)
+	f.postCQE(sq.cqid, nvme.Completion{CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead), Status: st})
+}
+
+// start runs at the classic handleIO process's first activation position.
+func (io *feIO) start() {
+	f, e := io.f, io.e
+	ns := f.ns
+	if ns == nil || io.cmd.NSID != FrontNSID {
+		io.fail(nvme.StatusInvalidNamespace)
+		return
+	}
+	io.ns = ns
+	switch io.cmd.Opcode {
+	case nvme.IOFlush:
+		io.startFlush()
+		return
+	case nvme.IORead, nvme.IOWrite:
+	default:
+		io.fail(nvme.StatusInvalidOpcode)
+		return
+	}
+	io.skey = 0
+	if e.met != nil {
+		io.skey = obs.SpanKey(uint8(f.id), io.sq.id, io.cmd.CID)
+		e.met.SpanMark(io.skey, obs.MarkDispatch, e.env.Now())
+	}
+	e.mDispatch.Inc()
+
+	io.slba = io.cmd.SLBA()
+	io.nlb = io.cmd.NLB()
+	if io.slba+uint64(io.nlb) > ns.SizeLBA {
+		io.fail(nvme.StatusLBAOutOfRange)
+		return
+	}
+	io.nBytes = int(io.nlb) * int(ns.blockSize)
+	e.after(e.cfg.MapLatency, io.mappedFn)
+}
+
+func (io *feIO) mapped() {
+	var err error
+	io.extents, err = io.ns.mt.LookupRangeInto(io.extents[:0], io.slba, io.nlb)
+	if err != nil {
+		io.fail(nvme.StatusInternal)
+		return
+	}
+	io.ns.admitCB(io.nBytes, io.admittedFn)
+}
+
+func (io *feIO) admitted(any) {
+	io.start0 = io.e.env.Now()
+	// PRP conversion: the in-pipeline tag path needs no memory touch; list
+	// transfers walk the host PRPs (fetching list pages) then assemble.
+	if subs, ok := io.f.simpleSub(io.cmd, io.extents, io.nBytes, io.subs[:0]); ok {
+		io.subs = subs
+		io.forward()
+		return
+	}
+	io.walkAttempt()
+}
+
+func (io *feIO) walkAttempt() {
+	e := io.e
+	w := io.walker
+	if w == nil {
+		w = &cpsHostPRP{pages: make(map[uint64][]byte)}
+		io.walker = w
+	}
+	w.missSet = false
+	segs, err := nvme.WalkPRPsInto(io.scratch[:0], w, io.cmd.PRP1, io.cmd.PRP2, io.nBytes)
+	if w.missSet {
+		b := e.getPage()
+		done := e.hostPort.DMARead(w.miss, nvme.PageSize, b)
+		w.pages[w.miss] = b
+		w.used = append(w.used, w.miss)
+		e.after(done-e.env.Now(), io.walkFn)
+		return
+	}
+	if err != nil {
+		io.fail(nvme.StatusInvalidField)
+		return
+	}
+	io.scratch = segs
+	io.subs, io.lists, io.extScratch = io.f.assembleSubs(segs, io.extents, io.subs[:0], io.lists[:0], io.extScratch)
+	io.forward()
+}
+
+// forward joins the classic pipeline after buildSubCommands: span mark, then
+// the submit loop with one ForwardLatency hop per sub-command.
+func (io *feIO) forward() {
+	e := io.e
+	if e.met != nil {
+		e.met.SpanMark(io.skey, obs.MarkMapped, e.env.Now())
+	}
+	io.remaining = len(io.subs)
+	io.worst = nvme.StatusSuccess
+	io.subIdx = 0
+	io.forwardNext()
+}
+
+func (io *feIO) forwardNext() {
+	if io.subIdx >= len(io.subs) {
+		return // all submitted; completions drive the rest
+	}
+	io.e.after(io.e.cfg.ForwardLatency, io.forwardSubFn)
+}
+
+func (io *feIO) forwardSub() {
+	e := io.e
+	sub := io.subs[io.subIdx]
+	io.subIdx++
+	be := e.backends[sub.ssd]
+	bcmd := nvme.Command{Opcode: io.cmd.Opcode, PRP1: sub.prp1, PRP2: sub.prp2}
+	bcmd.SetSLBA(sub.physLBA)
+	bcmd.SetNLB(sub.blocks)
+	be.submitIOCB(bcmd, int(io.f.id)*7+int(io.sq.id), io.skey, io.subDoneFn, io.forwardNextFn)
+}
+
+func (io *feIO) subDone(c nvme.Completion) {
+	if c.Status.IsError() && io.worst == nvme.StatusSuccess {
+		io.worst = c.Status
+	}
+	io.remaining--
+	if io.remaining > 0 {
+		return
+	}
+	e := io.e
+	if e.met != nil {
+		e.met.SpanMark(io.skey, obs.MarkBackendDone, e.env.Now())
+	}
+	e.freeChipPages(io.lists)
+	io.lists = io.lists[:0]
+	lat := e.env.Now() - io.start0
+	if io.cmd.Opcode == nvme.IORead {
+		io.ns.ReadStats.Record(io.nBytes, lat)
+	} else {
+		io.ns.WriteStats.Record(io.nBytes, lat)
+	}
+	f, sq, cmd, sqHead, worst := io.f, io.sq, io.cmd, io.sqHead, io.worst
+	e.putFeIO(io)
+	f.postCQE(sq.cqid, nvme.Completion{CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead), Status: worst})
+}
+
+// --- flush fan-out (continuation form of forwardFlush) ---
+
+func (io *feIO) startFlush() {
+	io.ssds = io.ns.ssdSetInto(io.ssds[:0])
+	if len(io.ssds) == 0 {
+		io.worst = nvme.StatusSuccess
+		io.flushFinish()
+		return
+	}
+	io.e.mFlushes.Inc()
+	io.remaining = len(io.ssds)
+	io.worst = nvme.StatusSuccess
+	io.subIdx = 0
+	io.flushNext()
+}
+
+func (io *feIO) flushNext() {
+	if io.subIdx >= len(io.ssds) {
+		return
+	}
+	idx := io.ssds[io.subIdx]
+	io.subIdx++
+	be := io.e.backends[idx]
+	be.submitIOCB(nvme.Command{Opcode: nvme.IOFlush}, int(io.f.id), 0, io.flushDoneFn, io.flushNextFn)
+}
+
+func (io *feIO) flushDone(c nvme.Completion) {
+	if c.Status.IsError() && io.worst == nvme.StatusSuccess {
+		io.worst = c.Status
+	}
+	io.remaining--
+	if io.remaining == 0 {
+		io.flushFinish()
+	}
+}
+
+func (io *feIO) flushFinish() {
+	f, sq, cmd, sqHead, worst := io.f, io.sq, io.cmd, io.sqHead, io.worst
+	io.e.putFeIO(io)
+	f.postCQE(sq.cqid, nvme.Completion{CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead), Status: worst})
+}
+
+// --- backend submit (continuation form of submitIO) ---
+
+// beSubmit is one pooled in-flight submission attempt.
+type beSubmit struct {
+	b         *backend
+	sq        *beSQ
+	cmd       nvme.Command
+	qhint     int
+	skey      uint64
+	done      func(nvme.Completion)
+	submitted func()
+
+	gateFn func(any)
+	slotFn func(any)
+}
+
+// submitIOCB is submitIO for callback-chain callers: done runs on command
+// completion exactly as submitIO's done does, and submitted runs at the
+// program point where submitIO would have returned to its caller (after the
+// SQE push). The quiesce gate and queue-depth waits park this record on the
+// same events and FIFOs the classic path uses, so mixed classic/fast
+// submitters keep their relative order. Injected backend stalls need no
+// handling here: the fast path only exists when no fault injector is
+// attached.
+func (b *backend) submitIOCB(cmd nvme.Command, qhint int, skey uint64, done func(nvme.Completion), submitted func()) {
+	var s *beSubmit
+	if n := len(b.submitFree); n > 0 {
+		s = b.submitFree[n-1]
+		b.submitFree = b.submitFree[:n-1]
+	} else {
+		s = &beSubmit{b: b}
+		s.gateFn = s.gate
+		s.slotFn = s.slot
+	}
+	s.cmd, s.qhint, s.skey, s.done, s.submitted = cmd, qhint, skey, done, submitted
+	s.gate(nil)
+}
+
+// gate re-checks the quiesce gate, parking on it while closed — the loop
+// shape of waitGate.
+func (s *beSubmit) gate(any) {
+	b := s.b
+	if b.gateClosed {
+		ev := b.e.env.PooledEvent()
+		ev.AddCallback(s.gateFn)
+		b.gateWait = append(b.gateWait, ev)
+		return
+	}
+	sq := b.ioSQs[s.qhint%len(b.ioSQs)]
+	s.sq = sq
+	sq.slots.AcquireCB(s.slotFn)
+}
+
+func (s *beSubmit) slot(any) {
+	b, sq := s.b, s.sq
+	cid := b.allocCID()
+	cmd := s.cmd
+	cmd.CID = cid
+	cmd.NSID = b.backendNSID
+	b.inflight++
+	if b.e.met != nil {
+		if s.skey != 0 {
+			b.e.met.SpanAlias(s.skey, obs.DevKey(b.dev.Config().Serial, sq.id, cid))
+		}
+		b.mInflight.Inc(b.e.env.Now())
+		b.mSubmits.Inc()
+	}
+	b.pending[cid] = b.getPending(sq, s.done)
+	submitted := s.submitted
+	s.sq, s.done, s.submitted = nil, nil, nil
+	b.submitFree = append(b.submitFree, s)
+	b.push(sq, cmd)
+	submitted()
+}
+
+func (b *backend) getPending(sq *beSQ, done func(nvme.Completion)) *bePending {
+	if n := len(b.pendFree); n > 0 {
+		p := b.pendFree[n-1]
+		b.pendFree = b.pendFree[:n-1]
+		p.sq, p.done = sq, done
+		return p
+	}
+	return &bePending{sq: sq, done: done}
+}
+
+// doneMsg is a pooled deferred completion delivery: the CompleteLatency
+// stage of backend.complete without a per-completion closure. It is used on
+// classic and fast paths alike (the Schedule position is unchanged).
+type doneMsg struct {
+	b   *backend
+	fn  func(nvme.Completion)
+	cpl nvme.Completion
+	run func()
+}
+
+func (b *backend) scheduleDone(fn func(nvme.Completion), cpl nvme.Completion) {
+	var m *doneMsg
+	if n := len(b.doneFree); n > 0 {
+		m = b.doneFree[n-1]
+		b.doneFree = b.doneFree[:n-1]
+	} else {
+		m = &doneMsg{b: b}
+		m.run = m.fire
+	}
+	m.fn, m.cpl = fn, cpl
+	b.e.env.Schedule(b.e.cfg.CompleteLatency, m.run)
+}
+
+func (m *doneMsg) fire() {
+	b, fn, cpl := m.b, m.fn, m.cpl
+	m.fn = nil
+	b.doneFree = append(b.doneFree, m)
+	fn(cpl)
+}
+
+// feIRQ is a pooled deferred front-end MSI post (classic and fast paths).
+type feIRQ struct {
+	e   *Engine
+	run func()
+	fid pcie.FuncID
+	vec int
+}
+
+func (e *Engine) postIRQ(delay sim.Time, fid pcie.FuncID, vec int) {
+	var m *feIRQ
+	if n := len(e.feIRQFree); n > 0 {
+		m = e.feIRQFree[n-1]
+		e.feIRQFree = e.feIRQFree[:n-1]
+	} else {
+		m = &feIRQ{e: e}
+		m.run = m.fire
+	}
+	m.fid, m.vec = fid, vec
+	e.env.Schedule(delay, m.run)
+}
+
+func (m *feIRQ) fire() {
+	e, fid, vec := m.e, m.fid, m.vec
+	e.feIRQFree = append(e.feIRQFree, m)
+	e.hostPort.RaiseIRQ(fid, vec)
+}

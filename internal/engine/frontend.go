@@ -24,6 +24,10 @@ type function struct {
 	cqs map[uint16]*feCQ
 
 	ns *Namespace
+
+	// cqeBuf is the CQE encode scratch: DMAWrite copies synchronously into
+	// host memory, so one reusable buffer replaces a per-CQE escape.
+	cqeBuf [nvme.CQESize]byte
 }
 
 type feSQ struct {
@@ -33,6 +37,7 @@ type feSQ struct {
 	head     uint32
 	tail     uint32
 	fetching bool
+	fs       *feFetch // fast-path fetch state, created on first doorbell
 }
 
 type feCQ struct {
@@ -110,6 +115,13 @@ func (f *function) doorbell(qid uint16, isCQ bool, val uint32) {
 	sq.tail = val % sq.ring.Entries
 	if !sq.fetching {
 		sq.fetching = true
+		if f.e.fast && qid != 0 {
+			if sq.fs == nil {
+				sq.fs = newFeFetch(f, sq)
+			}
+			f.e.env.Schedule(0, sq.fs.stepFn)
+			return
+		}
 		f.e.env.Go(fmt.Sprintf("engine/fn%d/sq%d", f.id, qid), func(p *sim.Proc) {
 			f.fetchLoop(p, sq)
 		})
@@ -149,20 +161,18 @@ func (f *function) postCQE(cqid uint16, cpl nvme.Completion) {
 		return
 	}
 	cpl.Phase = cq.phase
-	var buf [nvme.CQESize]byte
-	cpl.Encode(&buf)
+	cpl.Encode(&f.cqeBuf)
 	addr := cq.ring.SlotAddr(cq.tail)
 	cq.tail = cq.ring.Next(cq.tail)
 	if cq.tail == 0 {
 		cq.phase = !cq.phase
 	}
-	done := f.e.hostPort.DMAWrite(addr, nvme.CQESize, buf[:])
+	done := f.e.hostPort.DMAWrite(addr, nvme.CQESize, f.cqeBuf[:])
 	delay := done - f.e.env.Now()
 	if delay < 0 {
 		delay = 0
 	}
-	fn, vec := f.id, int(cqid)
-	f.e.env.Schedule(delay, func() { f.e.hostPort.RaiseIRQ(fn, vec) })
+	f.e.postIRQ(delay, f.id, int(cqid))
 }
 
 // handleAdmin services tenant-visible admin commands locally. Management
@@ -398,18 +408,8 @@ type subCommand struct {
 // describes.
 func (f *function) buildSubCommands(p *sim.Proc, cmd nvme.Command, extents []Extent, nBytes int) ([]subCommand, []uint64, nvme.Status) {
 	// Fast path: no PRP list, no split.
-	if len(extents) == 1 && nBytes <= 2*nvme.PageSize && cmd.PRP1%nvme.PageSize+uint64(nBytes) <= 2*nvme.PageSize {
-		var prp2 uint64
-		if cmd.PRP2 != 0 {
-			prp2 = EncodeGlobalPRP(f.id, cmd.PRP2, false)
-		}
-		return []subCommand{{
-			ssd:     extents[0].SSD,
-			physLBA: extents[0].PhysLBA,
-			blocks:  extents[0].Blocks,
-			prp1:    EncodeGlobalPRP(f.id, cmd.PRP1, false),
-			prp2:    prp2,
-		}}, nil, nvme.StatusSuccess
+	if subs, ok := f.simpleSub(cmd, extents, nBytes, nil); ok {
+		return subs, nil, nvme.StatusSuccess
 	}
 
 	// General path: walk the host PRPs (fetching list pages from host
@@ -418,12 +418,39 @@ func (f *function) buildSubCommands(p *sim.Proc, cmd nvme.Command, extents []Ext
 	if err != nil {
 		return nil, nil, nvme.StatusInvalidField
 	}
-	var subs []subCommand
-	var allLists []uint64
+	subs, allLists, _ := f.assembleSubs(segs, extents, nil, nil, nil)
+	return subs, allLists, nvme.StatusSuccess
+}
+
+// simpleSub handles the no-list no-split case: a single extent covered by at
+// most two pages, tagged in the pipeline without touching memory. It appends
+// the one sub-command to subs and reports whether it applied.
+func (f *function) simpleSub(cmd nvme.Command, extents []Extent, nBytes int, subs []subCommand) ([]subCommand, bool) {
+	if len(extents) != 1 || nBytes > 2*nvme.PageSize || cmd.PRP1%nvme.PageSize+uint64(nBytes) > 2*nvme.PageSize {
+		return subs, false
+	}
+	var prp2 uint64
+	if cmd.PRP2 != 0 {
+		prp2 = EncodeGlobalPRP(f.id, cmd.PRP2, false)
+	}
+	return append(subs, subCommand{
+		ssd:     extents[0].SSD,
+		physLBA: extents[0].PhysLBA,
+		blocks:  extents[0].Blocks,
+		prp1:    EncodeGlobalPRP(f.id, cmd.PRP1, false),
+		prp2:    prp2,
+	}), true
+}
+
+// assembleSubs splits walked host segments along extent boundaries and
+// rewrites each piece as a global-PRP sub-command. It appends into the
+// caller's subs/lists slices (pass nil for fresh ones) and returns the
+// per-extent scratch segment slice for reuse; it consumes no virtual time.
+func (f *function) assembleSubs(segs []nvme.Segment, extents []Extent, subs []subCommand, lists []uint64, extScratch []nvme.Segment) ([]subCommand, []uint64, []nvme.Segment) {
 	segIdx, segOff := 0, 0
 	for _, ext := range extents {
 		extBytes := int(ext.Blocks) * int(f.ns.blockSize)
-		var extSegs []nvme.Segment
+		extSegs := extScratch[:0]
 		for extBytes > 0 {
 			s := segs[segIdx]
 			take := s.Len - segOff
@@ -438,30 +465,32 @@ func (f *function) buildSubCommands(p *sim.Proc, cmd nvme.Command, extents []Ext
 				segOff = 0
 			}
 		}
-		prp1, prp2, lists := f.buildGlobalPRPs(extSegs)
-		allLists = append(allLists, lists...)
+		var prp1, prp2 uint64
+		prp1, prp2, lists = f.buildGlobalPRPs(extSegs, lists)
+		extScratch = extSegs
 		subs = append(subs, subCommand{
 			ssd: ext.SSD, physLBA: ext.PhysLBA, blocks: ext.Blocks,
 			prp1: prp1, prp2: prp2,
 		})
 	}
-	return subs, allLists, nvme.StatusSuccess
+	return subs, lists, extScratch
 }
 
 // buildGlobalPRPs lays tagged segments out as PRP1/PRP2, writing a chained
 // global-PRP list into chip memory when more than two entries are needed.
-func (f *function) buildGlobalPRPs(segs []nvme.Segment) (prp1, prp2 uint64, lists []uint64) {
-	prp1 = EncodeGlobalPRP(f.id, segs[0].Addr, false)
+// Allocated list pages are appended to lists.
+func (f *function) buildGlobalPRPs(segs []nvme.Segment, lists []uint64) (uint64, uint64, []uint64) {
+	prp1 := EncodeGlobalPRP(f.id, segs[0].Addr, false)
 	if len(segs) == 1 {
-		return prp1, 0, nil
+		return prp1, 0, lists
 	}
 	if len(segs) == 2 {
-		return prp1, EncodeGlobalPRP(f.id, segs[1].Addr, false), nil
+		return prp1, EncodeGlobalPRP(f.id, segs[1].Addr, false), lists
 	}
 	const perList = nvme.PageSize / 8
 	listAddr := f.e.allocChipPage()
 	lists = append(lists, listAddr)
-	prp2 = (listAddr | ChipMemFlag) // list pointer into chip memory
+	prp2 := listAddr | ChipMemFlag // list pointer into chip memory
 	cur := listAddr
 	slot := 0
 	rest := segs[1:]

@@ -144,8 +144,13 @@ type Extent struct {
 // chunk crossed. Commands rarely cross a 64 GB chunk boundary, but the
 // engine splits them correctly when they do.
 func (mt *MappingTable) LookupRange(hostLBA uint64, blocks uint32) ([]Extent, error) {
+	return mt.LookupRangeInto(nil, hostLBA, blocks)
+}
+
+// LookupRangeInto is LookupRange appending into a caller-provided slice
+// (pass out[:0] to reuse capacity across commands on the I/O fast path).
+func (mt *MappingTable) LookupRangeInto(out []Extent, hostLBA uint64, blocks uint32) ([]Extent, error) {
 	cs := mt.ChunkLBAs()
-	var out []Extent
 	for blocks > 0 {
 		ssd, pl, err := mt.Lookup(hostLBA)
 		if err != nil {

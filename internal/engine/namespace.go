@@ -22,6 +22,7 @@ type Namespace struct {
 
 	qos         *qosBucket
 	buffer      []*bufEntry // the QoS command buffer (Fig. 5)
+	bufFree     []*bufEntry // recycled buffer entries
 	dispatching bool
 
 	boundTo *function
@@ -147,8 +148,13 @@ func (ns *Namespace) Limits() QoSLimits { return ns.qos.limits }
 
 // ssdSet returns the distinct backend indices this namespace touches.
 func (ns *Namespace) ssdSet() []int {
+	return ns.ssdSetInto(nil)
+}
+
+// ssdSetInto is ssdSet appending into a caller-provided slice (pass out[:0]
+// to reuse capacity on the I/O fast path).
+func (ns *Namespace) ssdSetInto(out []int) []int {
 	var seen [MaxSSDID + 1]bool
-	var out []int
 	for _, c := range ns.chunks {
 		if !seen[c.SSD] {
 			seen[c.SSD] = true
@@ -175,7 +181,7 @@ func (ns *Namespace) admit(p *sim.Proc, nBytes int) {
 			return
 		}
 	}
-	be := &bufEntry{ev: ns.env.NewEvent(), nBytes: nBytes}
+	be := ns.getBufEntry(ns.env.NewEvent(), nBytes)
 	ns.buffer = append(ns.buffer, be)
 	ns.mParked.Inc()
 	ns.mBuffered.Inc(ns.env.Now())
@@ -184,6 +190,44 @@ func (ns *Namespace) admit(p *sim.Proc, nBytes int) {
 		ns.env.Go("engine/qos-dispatch", func(dp *sim.Proc) { ns.dispatch(dp) })
 	}
 	p.Wait(be.ev)
+}
+
+// admitCB is admit for callback-chain callers: cb runs at the program point
+// where admit would have returned — immediately on under-threshold commands,
+// or when the dispatcher re-admits the parked entry. The park path shares
+// the classic buffer and dispatcher process, so mixed classic/fast
+// submitters drain in the same FIFO order.
+func (ns *Namespace) admitCB(nBytes int, cb func(val any)) {
+	if ns.qos.Unlimited() && len(ns.buffer) == 0 {
+		cb(nil)
+		return
+	}
+	if len(ns.buffer) == 0 {
+		if ok, _ := ns.qos.Admit(nBytes); ok {
+			cb(nil)
+			return
+		}
+	}
+	ev := ns.env.PooledEvent()
+	ev.AddCallback(cb)
+	be := ns.getBufEntry(ev, nBytes)
+	ns.buffer = append(ns.buffer, be)
+	ns.mParked.Inc()
+	ns.mBuffered.Inc(ns.env.Now())
+	if !ns.dispatching {
+		ns.dispatching = true
+		ns.env.Go("engine/qos-dispatch", func(dp *sim.Proc) { ns.dispatch(dp) })
+	}
+}
+
+func (ns *Namespace) getBufEntry(ev *sim.Event, nBytes int) *bufEntry {
+	if n := len(ns.bufFree); n > 0 {
+		be := ns.bufFree[n-1]
+		ns.bufFree = ns.bufFree[:n-1]
+		be.ev, be.nBytes = ev, nBytes
+		return be
+	}
+	return &bufEntry{ev: ev, nBytes: nBytes}
 }
 
 // dispatch is the command dispatcher of Fig. 5: it drains the buffer in
@@ -199,6 +243,9 @@ func (ns *Namespace) dispatch(p *sim.Proc) {
 		}
 		ns.buffer = ns.buffer[1:]
 		ns.mBuffered.Dec(p.Now())
-		head.ev.Trigger(nil)
+		ev := head.ev
+		head.ev = nil
+		ns.bufFree = append(ns.bufFree, head)
+		ev.Trigger(nil)
 	}
 }

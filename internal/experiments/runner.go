@@ -101,6 +101,7 @@ type Harness struct {
 	pool    *Pool
 	traces  *trace.Set
 	metrics *obs.Set
+	classic bool
 }
 
 // NewHarness returns a harness running at the given scale with up to
@@ -124,6 +125,15 @@ func (h *Harness) WithMetrics(set *obs.Set) *Harness {
 	return h
 }
 
+// WithClassicPath forces every rig onto the classic process-per-command
+// data path even when untraced (see bmstore.Config.DisableFastPath). The
+// fast path is timing-neutral, so this only changes wall-clock cost; it
+// exists for A/B verification. Returns the harness for chaining.
+func (h *Harness) WithClassicPath(on bool) *Harness {
+	h.classic = on
+	return h
+}
+
 // Parallelism returns the harness's worker bound.
 func (h *Harness) Parallelism() int { return h.pool.Workers() }
 
@@ -142,5 +152,6 @@ func (h *Harness) config(rig string, seed int64) bmstore.Config {
 	if h.metrics != nil {
 		cfg.Metrics = h.metrics.Registry(rig)
 	}
+	cfg.DisableFastPath = h.classic
 	return cfg
 }

@@ -66,14 +66,19 @@ type Driver struct {
 	// I/O then pays one nil check per observation point. The driver opens
 	// a request span per non-flush I/O, keyed by (fn, qid, CID) — the same
 	// identity the engine front end sees on the other side of the wire.
-	met        *obs.Registry
-	mInflight  *obs.Gauge
-	mDoorbells *obs.Counter
-	mCQEs      *obs.Counter
-	mSplits    *obs.Counter
-	mTimeouts  *obs.Counter
-	mAborts    *obs.Counter
-	mRetries   *obs.Counter
+	met          *obs.Registry
+	mInflight    *obs.Gauge
+	mDoorbells   *obs.Counter
+	mCQEs        *obs.Counter
+	mSplits      *obs.Counter
+	mTimeouts    *obs.Counter
+	mAborts      *obs.Counter
+	mRetries     *obs.Counter
+	mEventsPerIO *obs.Hist
+
+	// cplFree recycles the completion carriers the IRQ handler passes to
+	// waiting attempts (a plain struct in an interface would re-box per CQE).
+	cplFree []*nvme.Completion
 
 	admin  *dq
 	queues []*dq
@@ -142,6 +147,11 @@ type dq struct {
 	zombie map[uint16]bool
 	buf    []uint64 // per-slot data buffer base
 	prpPg  []uint64 // per-slot PRP list page
+	// prpLen caches the page count whose entries currently fill each slot's
+	// PRP list. Slot buffers never move, so a repeat of the same transfer
+	// size finds the identical list bytes already in place and skips the
+	// rewrite entirely.
+	prpLen []int
 }
 
 // AttachDriver initialises the NVMe controller behind port/fn and returns
@@ -164,6 +174,7 @@ func AttachDriver(p *sim.Proc, h *Host, port *pcie.Port, fn pcie.FuncID, cfg Dri
 		d.mTimeouts = comp.Counter("timeouts")
 		d.mAborts = comp.Counter("aborts")
 		d.mRetries = comp.Counter("retries")
+		d.mEventsPerIO = comp.Hist("events_per_io")
 	}
 	h.register(d)
 
@@ -253,8 +264,39 @@ func (d *Driver) newQueue(qid uint16, depth uint32, maxIO int) *dq {
 		q.free = append(q.free, uint16(s))
 		q.buf = append(q.buf, mem.AllocPages(maxIO/4096))
 		q.prpPg = append(q.prpPg, mem.AllocPages(1))
+		q.prpLen = append(q.prpLen, 0)
 	}
 	return q
+}
+
+// waitEvent returns the event one submission waits on. Without a command
+// timeout the event fires exactly once and is never abandoned, so it can
+// come from the kernel's recycled pool; the timeout path abandons loser
+// events (their straggler CQE finds the zombie list, not the event), which
+// a pooled event's single-fire contract does not allow.
+func (d *Driver) waitEvent() *sim.Event {
+	if d.cfg.CmdTimeout == 0 {
+		return d.h.Env.PooledEvent()
+	}
+	return d.h.Env.NewEvent()
+}
+
+func (d *Driver) getCpl(c nvme.Completion) *nvme.Completion {
+	if n := len(d.cplFree); n > 0 {
+		p := d.cplFree[n-1]
+		d.cplFree = d.cplFree[:n-1]
+		*p = c
+		return p
+	}
+	p := new(nvme.Completion)
+	*p = c
+	return p
+}
+
+func (d *Driver) putCpl(c *nvme.Completion) nvme.Completion {
+	v := *c
+	d.cplFree = append(d.cplFree, c)
+	return v
 }
 
 // Identity returns the controller identify data the driver read at attach.
@@ -311,7 +353,7 @@ func (d *Driver) IRQ(vec int) {
 				d.ioc.Completed++
 			}
 			delete(q.wait, cpl.CID)
-			ev.Trigger(cpl)
+			ev.Trigger(d.getCpl(cpl))
 		} else if q.zombie[cpl.CID] {
 			// Straggler completion for a timed-out command: nobody is
 			// waiting anymore, but the slot can go back into circulation.
@@ -341,10 +383,10 @@ func (d *Driver) AdminCmd(p *sim.Proc, cmd nvme.Command) nvme.Completion {
 	cmd.Encode(&b)
 	d.h.Mem.Write(q.sqRing.SlotAddr(q.tail), b[:])
 	q.tail = q.sqRing.Next(q.tail)
-	ev := d.h.Env.NewEvent()
+	ev := d.h.Env.PooledEvent()
 	q.wait[cmd.CID] = ev
 	d.port.MMIOWrite(d.fn, nvme.SQDoorbell(q.id), uint64(q.tail))
-	cpl := p.Wait(ev).(nvme.Completion)
+	cpl := d.putCpl(p.Wait(ev).(*nvme.Completion))
 	q.free = append(q.free, slot)
 	q.slots.Release()
 	return cpl
@@ -362,6 +404,20 @@ func (d *Driver) IO(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte
 // oracle needs that distinction: a clean error means the write did not
 // happen, a timed-out write may still land.
 func (d *Driver) IOWithOutcome(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte, qIdx int) IOOutcome {
+	if d.mEventsPerIO != nil {
+		ev0 := d.h.Env.Events()
+		oc := d.ioEpisode(p, op, lba, blocks, buf, qIdx)
+		// Kernel events fired while this episode was in flight: at queue
+		// depth 1 this is the I/O's own event chain; at higher depths it
+		// counts the shared window, which is the fleet-level cost that
+		// matters for fusion.
+		d.mEventsPerIO.Record(int64(d.h.Env.Events() - ev0))
+		return oc
+	}
+	return d.ioEpisode(p, op, lba, blocks, buf, qIdx)
+}
+
+func (d *Driver) ioEpisode(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf []byte, qIdx int) IOOutcome {
 	nBytes := int(blocks) * nvme.LBASize
 	if op != nvme.IOFlush && nBytes > d.cfg.MaxIOBytes {
 		panic(fmt.Sprintf("host: %d-byte I/O exceeds driver max %d", nBytes, d.cfg.MaxIOBytes))
@@ -438,7 +494,7 @@ func (d *Driver) ioAttempt(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf
 	cmd.Encode(&b)
 	d.h.Mem.Write(q.sqRing.SlotAddr(q.tail), b[:])
 	q.tail = q.sqRing.Next(q.tail)
-	ev := d.h.Env.NewEvent()
+	ev := d.waitEvent()
 	q.wait[cmd.CID] = ev
 	if d.tr != nil {
 		d.tr.Emit(d.h.Env.Now(), "host", "doorbell",
@@ -479,9 +535,9 @@ func (d *Driver) ioAttempt(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf
 			d.abort(p, q.id, cmd.CID)
 			return nvme.StatusSuccess, true
 		}
-		cpl = got.(nvme.Completion)
+		cpl = d.putCpl(got.(*nvme.Completion))
 	} else {
-		cpl = p.Wait(ev).(nvme.Completion)
+		cpl = d.putCpl(p.Wait(ev).(*nvme.Completion))
 	}
 	p.Sleep(comp)
 	if op == nvme.IORead && buf != nil && !cpl.Status.IsError() {
@@ -528,11 +584,13 @@ func (d *Driver) abort(p *sim.Proc, sqid, cid uint16) {
 			uint64(d.fn)<<32|uint64(sqid)<<16|uint64(cid), 0, "")
 	}
 	d.port.MMIOWrite(d.fn, nvme.SQDoorbell(q.id), uint64(q.tail))
-	if _, ok := p.WaitTimeout(ev, d.cfg.CmdTimeout); !ok {
+	got, ok := p.WaitTimeout(ev, d.cfg.CmdTimeout)
+	if !ok {
 		delete(q.wait, slot)
 		q.zombie[slot] = true
 		return
 	}
+	d.putCpl(got.(*nvme.Completion))
 	q.free = append(q.free, slot)
 	q.slots.Release()
 }
@@ -587,8 +645,11 @@ func (d *Driver) buildPRPs(q *dq, slot uint16, nBytes int) (uint64, uint64) {
 		return base, base + 4096
 	default:
 		list := q.prpPg[slot]
-		for i := 1; i < pages; i++ {
-			d.h.Mem.WriteU64(list+uint64(i-1)*8, base+uint64(i)*4096)
+		if q.prpLen[slot] != pages {
+			for i := 1; i < pages; i++ {
+				d.h.Mem.WriteU64(list+uint64(i-1)*8, base+uint64(i)*4096)
+			}
+			q.prpLen[slot] = pages
 		}
 		return base, list
 	}

@@ -1,0 +1,133 @@
+package hostmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteAtPageEdges: writes that end exactly on a page boundary, start
+// exactly on one, and straddle three pages must all round-trip, and only
+// the pages actually touched may materialise.
+func TestWriteAtPageEdges(t *testing.T) {
+	m := New(1 << 20)
+	base := m.AllocPages(4)
+
+	// Ends exactly at the first page boundary.
+	a := make([]byte, 100)
+	for i := range a {
+		a[i] = 0xA1
+	}
+	m.Write(base+PageSize-100, a)
+	// Starts exactly at the second page boundary.
+	b := make([]byte, 100)
+	for i := range b {
+		b[i] = 0xB2
+	}
+	m.Write(base+PageSize, b)
+	if m.TouchedPages() != 2 {
+		t.Fatalf("touched %d pages, want 2", m.TouchedPages())
+	}
+
+	got := make([]byte, 200)
+	m.Read(base+PageSize-100, got)
+	if !bytes.Equal(got[:100], a) || !bytes.Equal(got[100:], b) {
+		t.Fatal("boundary-adjacent writes did not round-trip")
+	}
+
+	// One write straddling all of pages 2..3 plus the tails of 1.
+	c := make([]byte, 2*PageSize+200)
+	for i := range c {
+		c[i] = byte(i)
+	}
+	m.Write(base+PageSize-100, c)
+	got = make([]byte, len(c))
+	m.Read(base+PageSize-100, got)
+	if !bytes.Equal(got, c) {
+		t.Fatal("straddling write did not round-trip")
+	}
+	if m.TouchedPages() != 4 {
+		t.Fatalf("touched %d pages, want 4", m.TouchedPages())
+	}
+}
+
+// TestReadZeroFillsHoles: a read crossing an untouched page must fully
+// overwrite the destination buffer — the sparse hole reads as zeros even
+// into a dirty buffer. The DMA fast path hands pooled (dirty) page buffers
+// straight to Read and relies on exactly this.
+func TestReadZeroFillsHoles(t *testing.T) {
+	m := New(1 << 20)
+	base := m.AllocPages(3)
+	// Touch pages 0 and 2, leave page 1 a hole.
+	edge := []byte{1, 2, 3, 4}
+	m.Write(base+PageSize-uint64(len(edge)), edge)
+	m.Write(base+2*PageSize, edge)
+	if m.TouchedPages() != 2 {
+		t.Fatalf("touched %d pages, want 2", m.TouchedPages())
+	}
+
+	buf := make([]byte, 3*PageSize)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	m.Read(base, buf)
+	if !bytes.Equal(buf[PageSize-4:PageSize], edge) {
+		t.Fatal("page 0 tail lost")
+	}
+	if !bytes.Equal(buf[2*PageSize:2*PageSize+4], edge) {
+		t.Fatal("page 2 head lost")
+	}
+	for i, v := range buf[PageSize : 2*PageSize] {
+		if v != 0 {
+			t.Fatalf("hole byte %d = %#x, want 0 (dirty buffer leaked through)", i, v)
+		}
+	}
+	for i, v := range buf[:PageSize-4] {
+		if v != 0 {
+			t.Fatalf("untouched head byte %d = %#x", i, v)
+		}
+	}
+	// Reading a hole must not materialise it.
+	if m.TouchedPages() != 2 {
+		t.Fatalf("read materialised pages: %d", m.TouchedPages())
+	}
+}
+
+// TestAllocEdgeCases: zero align packs byte-tight, an exact fit to the end
+// of memory succeeds, and one byte more panics.
+func TestAllocEdgeCases(t *testing.T) {
+	m := New(1 << 16)
+	a := m.Alloc(1, 0)
+	b := m.Alloc(1, 0)
+	if b != a+1 {
+		t.Fatalf("align 0 not byte-tight: %#x then %#x", a, b)
+	}
+
+	rest := m.Size() - (b + 1)
+	c := m.Alloc(rest, 1)
+	if c+rest != m.Size() {
+		t.Fatalf("exact fit ends at %#x, want %#x", c+rest, m.Size())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("allocation past the end did not panic")
+		}
+	}()
+	m.Alloc(1, 1)
+}
+
+// TestU64AcrossPageBoundary: an 8-byte scalar split 4/4 across two pages
+// must round-trip through the per-page copy loop.
+func TestU64AcrossPageBoundary(t *testing.T) {
+	m := New(1 << 20)
+	base := m.AllocPages(2)
+	addr := base + PageSize - 4
+	const v = uint64(0x1122334455667788)
+	m.WriteU64(addr, v)
+	if got := m.ReadU64(addr); got != v {
+		t.Fatalf("got %#x, want %#x", got, v)
+	}
+	// Both halves landed on their own page.
+	if m.TouchedPages() != 2 {
+		t.Fatalf("touched %d pages, want 2", m.TouchedPages())
+	}
+}

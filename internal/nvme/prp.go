@@ -76,10 +76,16 @@ func BuildPRPs(w PageWriter, buf uint64, n int) (prp1, prp2 uint64, lists []uint
 // WalkPRPs resolves a PRP1/PRP2 pair describing n bytes into the ordered
 // physical segments of the transfer, reading list pages through r.
 func WalkPRPs(r PageReader, prp1, prp2 uint64, n int) ([]Segment, error) {
+	return WalkPRPsInto(nil, r, prp1, prp2, n)
+}
+
+// WalkPRPsInto is WalkPRPs appending into a caller-provided slice (pass
+// segs[:0] to reuse its capacity across commands — the data path's
+// per-command segment cache). On error the returned slice is nil.
+func WalkPRPsInto(segs []Segment, r PageReader, prp1, prp2 uint64, n int) ([]Segment, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("nvme: zero-length PRP walk")
 	}
-	var segs []Segment
 	first := int(PageSize - prp1%PageSize)
 	if first > n {
 		first = n

@@ -165,6 +165,68 @@ type Port struct {
 	irq      func(fn FuncID, vector int)
 	vdmUp    func(pkt []byte)
 	dev      RegDevice
+
+	// Free lists for in-flight doorbell and interrupt deliveries. A port is
+	// single-threaded (it belongs to one Env), so plain slices suffice. Each
+	// record stores its bound delivery func once at creation; reusing it
+	// keeps MMIOWrite and RaiseIRQ allocation-free at steady state, where a
+	// per-call closure would otherwise be the single hottest allocation on
+	// the doorbell path.
+	mmioFree []*mmioMsg
+	irqFree  []*irqMsg
+}
+
+// mmioMsg is a pooled in-flight posted register write.
+type mmioMsg struct {
+	pt  *Port
+	fn  FuncID
+	off uint64
+	val uint64
+	run func()
+}
+
+func (pt *Port) newMMIO() *mmioMsg {
+	if n := len(pt.mmioFree); n > 0 {
+		m := pt.mmioFree[n-1]
+		pt.mmioFree = pt.mmioFree[:n-1]
+		return m
+	}
+	m := &mmioMsg{pt: pt}
+	m.run = m.deliver
+	return m
+}
+
+// deliver recycles the record before invoking the device, so a doorbell
+// handler that posts further MMIO writes can reuse it immediately.
+func (m *mmioMsg) deliver() {
+	pt, fn, off, val := m.pt, m.fn, m.off, m.val
+	pt.mmioFree = append(pt.mmioFree, m)
+	pt.dev.RegWrite(fn, off, val)
+}
+
+// irqMsg is a pooled in-flight MSI delivery.
+type irqMsg struct {
+	pt  *Port
+	fn  FuncID
+	vec int
+	run func()
+}
+
+func (pt *Port) newIRQ() *irqMsg {
+	if n := len(pt.irqFree); n > 0 {
+		m := pt.irqFree[n-1]
+		pt.irqFree = pt.irqFree[:n-1]
+		return m
+	}
+	m := &irqMsg{pt: pt}
+	m.run = m.deliver
+	return m
+}
+
+func (m *irqMsg) deliver() {
+	pt, fn, vec := m.pt, m.fn, m.vec
+	pt.irqFree = append(pt.irqFree, m)
+	pt.irq(fn, vec)
 }
 
 // Connect wires a device beneath an upstream target. irq and vdmUp may be
@@ -196,7 +258,9 @@ func (pt *Port) MMIOWrite(fn FuncID, offset uint64, val uint64) {
 	pt.link.mDown.AddAt(int64(pt.env.Now()), uint64(WireBytes(4)))
 	done := pt.link.toDev.Reserve(WireBytes(4))
 	delay := done - pt.env.Now() + pt.link.Latency
-	pt.env.Schedule(delay, func() { pt.dev.RegWrite(fn, offset, val) })
+	m := pt.newMMIO()
+	m.fn, m.off, m.val = fn, offset, val
+	pt.env.Schedule(delay, m.run)
 }
 
 // VDMToDevice delivers a vendor-defined message to the device after the
@@ -245,7 +309,9 @@ func (pt *Port) RaiseIRQ(fn FuncID, vector int) {
 	pt.link.mUp.AddAt(int64(pt.env.Now()), uint64(WireBytes(4)))
 	done := pt.link.toHost.Reserve(WireBytes(4))
 	delay := done - pt.env.Now() + pt.link.Latency
-	pt.env.Schedule(delay, func() { pt.irq(fn, vector) })
+	m := pt.newIRQ()
+	m.fn, m.vec = fn, vector
+	pt.env.Schedule(delay, m.run)
 }
 
 // VDMToHost sends a vendor-defined message upstream.

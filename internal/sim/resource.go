@@ -24,15 +24,38 @@ func (r *Resource) Capacity() int { return r.cap }
 // InUse returns the number of currently held units.
 func (r *Resource) InUse() int { return r.inUse }
 
-// Acquire obtains one unit, blocking until available.
+// Acquire obtains one unit, blocking until available. The waiter event is
+// pooled: it never escapes this function (Wait's return value travels in the
+// resume message, not through the event), so the kernel recycles it the
+// moment it fires and a contended Acquire allocates nothing at steady state.
 func (r *Resource) Acquire(p *Proc) {
 	if r.inUse < r.cap {
 		r.inUse++
 		return
 	}
-	ev := r.env.NewEvent()
+	ev := r.env.pooledEvent()
 	r.waiters = append(r.waiters, ev)
 	p.Wait(ev)
+}
+
+// AcquireCB obtains one unit for callback-chain callers: when a unit is
+// immediately free, cb runs synchronously — the same program point where
+// Acquire returns without blocking. Otherwise cb runs in scheduler context
+// when Release hands this caller a unit, at exactly the queue position where
+// Acquire's blocked waiter would have resumed, so mixing AcquireCB and
+// Acquire callers on one resource preserves FIFO grant order and timing.
+// The waiter event comes from the kernel free list and never escapes, so a
+// contended AcquireCB costs no allocation beyond cb itself (callers on the
+// fast path pass a callback stored once in a pooled per-command record).
+func (r *Resource) AcquireCB(cb func(val any)) {
+	if r.inUse < r.cap {
+		r.inUse++
+		cb(nil)
+		return
+	}
+	ev := r.env.pooledEvent()
+	ev.callbacks = append(ev.callbacks, cb)
+	r.waiters = append(r.waiters, ev)
 }
 
 // TryAcquire obtains a unit only if one is immediately free.

@@ -54,6 +54,16 @@ type Env struct {
 	tracer  *trace.Tracer
 	faults  *fault.Injector
 
+	// fastOK enables the data-path fast path (see FastPath). It defaults
+	// to true and exists so A/B tests and CLIs can force the classic
+	// process-based path on an otherwise eligible environment.
+	fastOK bool
+
+	// nEvents counts queue entries fired since the environment was
+	// created. It is always maintained (one add per event) so the host
+	// driver can report events-per-I/O without a metrics registry.
+	nEvents uint64
+
 	// met is the metrics registry; the kernel counters below are cached
 	// instrument pointers (nil when metrics are off, making each
 	// observation point a single nil check — obs instruments are
@@ -73,11 +83,31 @@ type Env struct {
 // The seed feeds the per-name deterministic streams returned by Rand.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		yield: make(chan struct{}),
-		live:  make(map[*Proc]struct{}),
-		seed:  seed,
+		yield:  make(chan struct{}),
+		live:   make(map[*Proc]struct{}),
+		seed:   seed,
+		fastOK: true,
 	}
 }
+
+// SetFastPath enables or disables the event-fused I/O fast path on an
+// otherwise eligible environment. Like the observers, components consult
+// FastPath at construction time, so call this before building anything on
+// the environment. The fast path never changes virtual-time behaviour —
+// disabling it exists for A/B verification of exactly that property.
+func (e *Env) SetFastPath(on bool) { e.fastOK = on }
+
+// FastPath reports whether data-path components may use their fused
+// callback-chain fast path instead of spawning a process per command. It is
+// true only when no tracer and no fault injector are attached: the fast
+// path is hop-for-hop timing-identical to the classic path but emits no
+// spawn/resume trace records, so traced (digest) runs and faulted runs take
+// the classic path and stay byte-identical to their committed artifacts.
+func (e *Env) FastPath() bool { return e.fastOK && e.tracer == nil && e.faults == nil }
+
+// Events returns the number of queue entries fired so far — the kernel-level
+// cost measure behind the driver's events-per-I/O accounting.
+func (e *Env) Events() uint64 { return e.nEvents }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
@@ -318,6 +348,7 @@ func (e *Env) run(limit Time, until *Event) Time {
 			panic("sim: event queue went backwards")
 		}
 		e.now = it.at
+		e.nEvents++
 		e.cEvents.Inc()
 		if e.tracer != nil {
 			e.tracer.Emit(e.now, "sim", "fire", it.seq, 0, "")
@@ -356,6 +387,15 @@ func (e *Env) fire(ev *Event) {
 		e.recycle(ev)
 	}
 }
+
+// PooledEvent returns a one-shot event from the environment's free list.
+// Contract: the event must be triggered exactly once and no reference to it
+// may be kept after it fires — the kernel recycles it at the end of fire,
+// after callbacks ran and waiters resumed. An event that is abandoned
+// (never triggered, or aborted) simply drops out of the pool; that is safe
+// but wastes the recycle. Data-path components use this for their
+// per-command completion signalling so steady-state I/O allocates nothing.
+func (e *Env) PooledEvent() *Event { return e.pooledEvent() }
 
 // pooledEvent returns a recycled kernel-internal event, or a fresh one. The
 // caller must guarantee the event never escapes to user code: it is handed

@@ -1,0 +1,496 @@
+package ssd
+
+// This file implements the SSD's event-fused I/O fast path: a
+// continuation-passing rewrite of fetchLoop/exec/execIO that replaces the
+// per-queue fetch process and the per-command execution process with pooled
+// state machines driven directly by scheduler callbacks.
+//
+// The rewrite is hop-for-hop timing-identical to the classic path — every
+// virtual-time sleep becomes an Env.Schedule at the same program point, and
+// every synchronous classic step (pacer reservations, RNG draws, resource
+// acquisition, DMA bookings) runs at the same call position — so queue order,
+// tie-breaking, and therefore every timestamp in the simulation are
+// unchanged. What disappears is the overhead that carries no virtual time:
+// goroutine handoffs, per-command process spawns, and per-command heap
+// allocations. See DESIGN.md §11 for the exact fusion rules and the proof
+// obligations each continuation discharges.
+//
+// Eligibility (d.fast, cached at construction): the environment's FastPath
+// must hold (no tracer — traced runs must keep emitting spawn/resume records
+// to stay byte-identical to committed digests — and no fault injector), and
+// the device must use the built-in flash timing model (cfg.Media
+// implementations receive a *sim.Proc and may block it). The admin queue
+// (SQ 0) always takes the classic path: admin commands are rare, stateful,
+// and not worth fusing.
+
+import (
+	"encoding/binary"
+
+	"bmstore/internal/nvme"
+	"bmstore/internal/obs"
+	"bmstore/internal/sim"
+)
+
+// after runs fn once delay has elapsed: the continuation mirror of
+// Proc.Sleep, including its run-immediately semantics at zero delay.
+func (d *SSD) after(delay sim.Time, fn func()) {
+	if delay > 0 {
+		d.env.Schedule(delay, fn)
+		return
+	}
+	fn()
+}
+
+// sqFetch is the continuation form of fetchLoop: one per submission queue,
+// created on the first fast-path doorbell and reused for the queue's
+// lifetime. Fetch stays strictly sequential per queue, exactly like the
+// classic fetch process.
+type sqFetch struct {
+	d   *SSD
+	sq  *subQueue
+	buf [nvme.SQESize]byte
+
+	// Command parked between SQE decode and the CmdLatency continuation.
+	pendCmd  nvme.Command
+	pendHead uint32
+
+	stepFn     func()
+	decodedFn  func()
+	dispatchFn func()
+}
+
+func newSQFetch(d *SSD, sq *subQueue) *sqFetch {
+	f := &sqFetch{d: d, sq: sq}
+	f.stepFn = f.step
+	f.decodedFn = f.decoded
+	f.dispatchFn = f.dispatch
+	return f
+}
+
+// step is one iteration of the classic fetch loop: exit checks, then the
+// SQE DMA fetch.
+func (f *sqFetch) step() {
+	d, sq := f.d, f.sq
+	if sq.head == sq.tail {
+		sq.fetching = false
+		return
+	}
+	if d.resetting || !d.ready || d.gone() {
+		sq.fetching = false
+		return
+	}
+	done := d.port.DMARead(sq.ring.SlotAddr(sq.head), nvme.SQESize, f.buf[:])
+	d.after(done-d.env.Now(), f.decodedFn)
+}
+
+func (f *sqFetch) decoded() {
+	d, sq := f.d, f.sq
+	f.pendCmd = nvme.DecodeCommand(&f.buf)
+	sq.head = sq.ring.Next(sq.head)
+	f.pendHead = sq.head
+	d.after(d.cfg.CmdLatency, f.dispatchFn)
+}
+
+// dispatch mirrors the classic loop's `env.Go(exec)` + next iteration: the
+// command's state machine starts one queue hop later (the position of the
+// classic process-start event), while the fetch loop continues immediately —
+// preserving the interleaving of this queue's next SQE fetch with the
+// command's own DMA bookings.
+func (f *sqFetch) dispatch() {
+	d := f.d
+	io := d.getIO(f.sq, f.pendCmd, f.pendHead)
+	d.env.Schedule(0, io.startFn)
+	f.step()
+}
+
+// cpsPRP is the fast path's PRP list walker. The classic prpReader blocks
+// the executing process mid-walk to fetch each list page; a continuation
+// cannot block, so the fast path walks with this cache-only reader, records
+// the first page it misses, fetches that page (same DMA booking, same
+// virtual-time wait), and retries. The walk itself consumes no virtual time
+// and page fetches are sequential either way, so the DMA call sequence and
+// timestamps are identical to the classic path's.
+type cpsPRP struct {
+	pages   map[uint64][]byte
+	used    []uint64 // insertion order, for recycling into the page pool
+	miss    uint64
+	missSet bool
+}
+
+func (w *cpsPRP) ReadU64(addr uint64) uint64 {
+	pg := addr &^ uint64(nvme.PageSize-1)
+	if b, ok := w.pages[pg]; ok {
+		return binary.LittleEndian.Uint64(b[addr-pg:])
+	}
+	if !w.missSet {
+		w.missSet = true
+		w.miss = pg
+	}
+	return 0
+}
+
+// nandStripe is one pooled parallel-NAND read: the continuation form of the
+// classic per-stripe "ssd/nand" process.
+type nandStripe struct {
+	d   *SSD
+	io  *ssdIO
+	lat sim.Time
+
+	startFn func()
+	acqFn   func(any)
+	doneFn  func()
+}
+
+func (d *SSD) getStripe(io *ssdIO, lat sim.Time) *nandStripe {
+	var s *nandStripe
+	if n := len(d.stripeFree); n > 0 {
+		s = d.stripeFree[n-1]
+		d.stripeFree = d.stripeFree[:n-1]
+	} else {
+		s = &nandStripe{d: d}
+		s.startFn = s.start
+		s.acqFn = s.acquired
+		s.doneFn = s.done
+	}
+	s.io, s.lat = io, lat
+	return s
+}
+
+func (s *nandStripe) start() { s.d.dies.AcquireCB(s.acqFn) }
+
+func (s *nandStripe) acquired(any) { s.d.after(s.lat, s.doneFn) }
+
+// done releases the die, then — only when this is the last outstanding
+// stripe — schedules the parent continuation at zero delay, mirroring the
+// classic stripe process's done-event trigger: the classic parent resumes
+// during the fire of the chronologically last stripe's done event, one queue
+// hop after that stripe's release.
+func (s *nandStripe) done() {
+	d, io := s.d, s.io
+	s.io = nil
+	d.stripeFree = append(d.stripeFree, s)
+	d.dies.Release()
+	io.remaining--
+	if io.remaining == 0 {
+		d.env.Schedule(0, io.nandDoneFn)
+	}
+}
+
+// ssdIO is one pooled in-flight I/O command: the continuation form of the
+// classic exec/execIO process. All bound continuation funcs are created once
+// when the record is first allocated and reused across commands.
+type ssdIO struct {
+	d      *SSD
+	sq     *subQueue
+	cmd    nvme.Command
+	sqHead uint32
+
+	devByte uint64
+	n       int
+	segs    []nvme.Segment
+	t0      sim.Time // post-PRP-walk timestamp: stats + media attribution base
+	mt0     sim.Time // write-path media phase start
+	lat     sim.Time // single-stripe NAND latency
+	media   sim.Time
+
+	remaining int // outstanding parallel NAND stripes
+
+	walker *cpsPRP  // lazy: only commands with PRP lists need it
+	dbuf   []byte   // pooled read-payload staging (CaptureData only)
+	bufs   [][]byte // pooled write-payload segment buffers (CaptureData only)
+
+	startFn      func()
+	walkFn       func()
+	flushDoneFn  func()
+	wzDoneFn     func()
+	dieAcqFn     func(any)
+	dieDoneFn    func()
+	nandDoneFn   func()
+	readPacedFn  func()
+	readOutFn    func()
+	writeFetchFn func()
+	writePacedFn func()
+	writeDoneFn  func()
+}
+
+func (d *SSD) getIO(sq *subQueue, cmd nvme.Command, sqHead uint32) *ssdIO {
+	var io *ssdIO
+	if n := len(d.ioFree); n > 0 {
+		io = d.ioFree[n-1]
+		d.ioFree = d.ioFree[:n-1]
+	} else {
+		io = &ssdIO{d: d}
+		io.startFn = io.start
+		io.walkFn = io.walkAttempt
+		io.flushDoneFn = io.flushDone
+		io.wzDoneFn = io.wzDone
+		io.dieAcqFn = io.dieAcquired
+		io.dieDoneFn = io.dieDone
+		io.nandDoneFn = io.nandDone
+		io.readPacedFn = io.readPaced
+		io.readOutFn = io.readOut
+		io.writeFetchFn = io.writeFetched
+		io.writePacedFn = io.writePaced
+		io.writeDoneFn = io.writeDone
+	}
+	io.sq, io.cmd, io.sqHead = sq, cmd, sqHead
+	return io
+}
+
+func (d *SSD) putIO(io *ssdIO) {
+	if w := io.walker; w != nil && len(w.used) > 0 {
+		for _, pg := range w.used {
+			d.pageFree = append(d.pageFree, w.pages[pg])
+			delete(w.pages, pg)
+		}
+		w.used = w.used[:0]
+	}
+	io.sq = nil
+	if io.segs != nil {
+		io.segs = io.segs[:0]
+	}
+	d.ioFree = append(d.ioFree, io)
+}
+
+func (d *SSD) getPage() []byte {
+	if n := len(d.pageFree); n > 0 {
+		b := d.pageFree[n-1]
+		d.pageFree = d.pageFree[:n-1]
+		return b
+	}
+	return make([]byte, nvme.PageSize)
+}
+
+// start runs at the position of the classic exec process's first activation
+// and mirrors execIO's dispatch exactly (tracer and fault hooks compile out:
+// the fast path only exists when both are absent).
+func (io *ssdIO) start() {
+	d := io.d
+	if d.resetting {
+		io.finish(nvme.StatusNSNotReady)
+		return
+	}
+	switch io.cmd.Opcode {
+	case nvme.IOFlush:
+		d.after(d.cfg.FlushLatency, io.flushDoneFn)
+		return
+	case nvme.IORead, nvme.IOWrite, nvme.IOWriteZeroes:
+		// handled below
+	default:
+		io.finish(nvme.StatusInvalidOpcode)
+		return
+	}
+	ns, ok := d.nss[io.cmd.NSID]
+	if !ok {
+		io.finish(nvme.StatusInvalidNamespace)
+		return
+	}
+	slba := io.cmd.SLBA()
+	nlb := uint64(io.cmd.NLB())
+	if slba+nlb > ns.sizeLBA {
+		io.finish(nvme.StatusLBAOutOfRange)
+		return
+	}
+	io.devByte = (ns.startLBA + slba) * BlockSize
+	if io.cmd.Opcode == nvme.IOWriteZeroes {
+		d.zeroBlocks(ns.startLBA+slba, nlb)
+		d.after(d.cfg.WriteCacheLatency, io.wzDoneFn)
+		return
+	}
+	io.n = int(nlb) * BlockSize
+	io.walkAttempt()
+}
+
+func (io *ssdIO) flushDone() { io.finish(nvme.StatusSuccess) }
+func (io *ssdIO) wzDone()    { io.finish(nvme.StatusSuccess) }
+
+// walkAttempt resolves the command's PRPs, fetching at most one missing list
+// page per attempt (see cpsPRP).
+func (io *ssdIO) walkAttempt() {
+	d := io.d
+	w := io.walker
+	if w == nil {
+		w = &cpsPRP{pages: make(map[uint64][]byte)}
+		io.walker = w
+	}
+	w.missSet = false
+	segs, err := nvme.WalkPRPsInto(io.segs[:0], w, io.cmd.PRP1, io.cmd.PRP2, io.n)
+	if w.missSet {
+		b := d.getPage()
+		done := d.port.DMARead(w.miss, nvme.PageSize, b)
+		w.pages[w.miss] = b
+		w.used = append(w.used, w.miss)
+		d.after(done-d.env.Now(), io.walkFn)
+		return
+	}
+	if err != nil {
+		io.finish(nvme.StatusInvalidField)
+		return
+	}
+	io.segs = segs
+	io.t0 = d.env.Now()
+	if io.cmd.Opcode == nvme.IORead {
+		io.startRead()
+	} else {
+		io.startWrite()
+	}
+}
+
+// --- read path ---
+
+func (io *ssdIO) startRead() {
+	d := io.d
+	stripes := (io.n + d.cfg.StripeBytes - 1) / d.cfg.StripeBytes
+	if stripes == 1 {
+		// Jitter draws at the classic argument-evaluation position, before
+		// the die acquire.
+		io.lat = d.jitter(d.cfg.NANDReadLatency)
+		d.dies.AcquireCB(io.dieAcqFn)
+		return
+	}
+	// Parallel stripes: latencies draw in loop order at dispatch time and
+	// each stripe starts one queue hop later, both exactly as the classic
+	// spawn loop does.
+	io.remaining = stripes
+	for i := 0; i < stripes; i++ {
+		s := d.getStripe(io, d.jitter(d.cfg.NANDReadLatency))
+		d.env.Schedule(0, s.startFn)
+	}
+}
+
+func (io *ssdIO) dieAcquired(any) { io.d.after(io.lat, io.dieDoneFn) }
+
+func (io *ssdIO) dieDone() {
+	io.d.dies.Release()
+	io.nandDone()
+}
+
+// nandDone books the internal read bus; for the multi-stripe path it runs
+// one hop after the last stripe's release (see nandStripe.done).
+func (io *ssdIO) nandDone() {
+	d := io.d
+	done := d.readPacer.Reserve(int64(io.n))
+	d.after(done-d.env.Now(), io.readPacedFn)
+}
+
+// readPaced is classic dmaOut: the media phase ends here, then payload
+// segments stream upstream.
+func (io *ssdIO) readPaced() {
+	d := io.d
+	io.media = d.env.Now() - io.t0
+	var last sim.Time
+	off := 0
+	for _, seg := range io.segs {
+		var data []byte
+		if d.cfg.CaptureData {
+			if cap(io.dbuf) < seg.Len {
+				io.dbuf = make([]byte, seg.Len)
+			}
+			data = d.readBytesInto(io.dbuf[:seg.Len], io.devByte+uint64(off), seg.Len)
+		}
+		if t := d.port.DMAWrite(seg.Addr, seg.Len, data); t > last {
+			last = t
+		}
+		off += seg.Len
+	}
+	d.after(last-d.env.Now(), io.readOutFn)
+}
+
+func (io *ssdIO) readOut() {
+	d := io.d
+	d.ReadStats.Record(io.n, d.env.Now()-io.t0)
+	d.mReadOps.Inc()
+	d.mReadBytes.AddAt(int64(d.env.Now()), uint64(io.n))
+	io.finishMedia()
+}
+
+// --- write path ---
+
+func (io *ssdIO) startWrite() {
+	d := io.d
+	var last sim.Time
+	for i, seg := range io.segs {
+		var buf []byte
+		if d.cfg.CaptureData {
+			buf = io.wbuf(i, seg.Len)
+		}
+		if t := d.port.DMARead(seg.Addr, seg.Len, buf); t > last {
+			last = t
+		}
+	}
+	d.after(last-d.env.Now(), io.writeFetchFn)
+}
+
+func (io *ssdIO) writeFetched() {
+	d := io.d
+	io.mt0 = d.env.Now()
+	done := d.writePacer.Reserve(int64(io.n))
+	d.after(done-d.env.Now(), io.writePacedFn)
+}
+
+// writePaced draws the cache jitter after the pacer wait completes — the
+// classic RNG call position — and sleeps it out.
+func (io *ssdIO) writePaced() {
+	d := io.d
+	d.after(d.jitter(d.cfg.WriteCacheLatency), io.writeDoneFn)
+}
+
+func (io *ssdIO) writeDone() {
+	d := io.d
+	io.media = d.env.Now() - io.mt0
+	if d.cfg.CaptureData {
+		off := 0
+		for i := range io.segs {
+			d.writeBytes(io.devByte+uint64(off), io.bufs[i])
+			off += len(io.bufs[i])
+		}
+	}
+	d.WriteStats.Record(io.n, d.env.Now()-io.t0)
+	d.mWriteOps.Inc()
+	d.mWriteBytes.AddAt(int64(d.env.Now()), uint64(io.n))
+	io.finishMedia()
+}
+
+// wbuf returns the i-th pooled write segment buffer sized to n. The buffer
+// is zeroed on reuse so sparse source pages read back as zeroes, matching
+// the fresh allocation the classic path makes.
+func (io *ssdIO) wbuf(i, n int) []byte {
+	for len(io.bufs) <= i {
+		io.bufs = append(io.bufs, nil)
+	}
+	b := io.bufs[i]
+	if cap(b) < n {
+		b = make([]byte, n)
+		io.bufs[i] = b
+	}
+	b = b[:n]
+	io.bufs[i] = b
+	for j := range b {
+		b[j] = 0
+	}
+	return b
+}
+
+// finishMedia records media attribution then completes successfully.
+func (io *ssdIO) finishMedia() {
+	d := io.d
+	if d.met != nil && io.media > 0 {
+		d.mMedia.Record(int64(io.media))
+		d.met.SpanMedia(obs.DevKey(d.cfg.Serial, io.sq.id, io.cmd.CID), int64(io.media))
+	}
+	io.finish(nvme.StatusSuccess)
+}
+
+// finish posts the CQE and recycles the record: the continuation mirror of
+// the classic exec process's epilogue.
+func (io *ssdIO) finish(status nvme.Status) {
+	d := io.d
+	var cpl nvme.Completion
+	cpl.CID = io.cmd.CID
+	cpl.SQID = io.sq.id
+	cpl.SQHead = uint16(io.sqHead)
+	cpl.Status = status
+	cqid := io.sq.cqid
+	d.putIO(io)
+	d.postCQE(cqid, cpl)
+}

@@ -281,7 +281,17 @@ func (r *prpReader) ReadU64(addr uint64) uint64 {
 // --- sparse data store (byte-granular over 4K blocks) ---
 
 func (d *SSD) readBytes(start uint64, n int) []byte {
-	out := make([]byte, n)
+	return d.readBytesInto(make([]byte, n), start, n)
+}
+
+// readBytesInto is readBytes into a caller-owned buffer (len(out) == n),
+// zeroing it first so sparse unwritten ranges read back as zeroes exactly
+// like the fresh allocation readBytes makes. The fast path reuses one
+// staging buffer per in-flight command with it.
+func (d *SSD) readBytesInto(out []byte, start uint64, n int) []byte {
+	for i := range out {
+		out[i] = 0
+	}
 	var off int
 	for off < n {
 		lba := (start + uint64(off)) / BlockSize

@@ -129,6 +129,7 @@ type subQueue struct {
 	head     uint32
 	tail     uint32
 	fetching bool
+	fs       *sqFetch // fast-path fetch state machine (nil until first use)
 }
 
 type compQueue struct {
@@ -177,6 +178,20 @@ type SSD struct {
 	onReady   []func()
 	jitterRng *rand.Rand
 
+	// fast enables the fused I/O path (fastpath.go): no tracer, no fault
+	// injector, built-in flash model. Cached at construction like the
+	// other observers. The free lists below pool the fast path's command
+	// records, NAND stripe records, PRP list pages, and the (classic-path
+	// too) deferred interrupt posts.
+	fast        bool
+	ioFree      []*ssdIO
+	stripeFree  []*nandStripe
+	pageFree    [][]byte
+	irqPostFree []*irqPost
+	// cqeBuf is the CQE encode scratch: DMAWrite copies synchronously into
+	// host memory, so one reusable buffer replaces a per-CQE escape.
+	cqeBuf [nvme.CQESize]byte
+
 	// ReadStats and WriteStats accumulate device-level I/O accounting,
 	// exposed to the BMS-Controller's I/O monitor.
 	ReadStats  stats.IOStats
@@ -213,6 +228,7 @@ func New(env *sim.Env, cfg Config) *SSD {
 		fwActive:   cfg.Firmware,
 		store:      make(map[uint64][]byte),
 		jitterRng:  env.Rand("ssd/jitter/" + cfg.Serial),
+		fast:       env.FastPath() && cfg.Media == nil,
 	}
 	if d.met = env.Metrics(); d.met != nil {
 		comp := d.met.Component("ssd/" + cfg.Serial)
@@ -347,6 +363,15 @@ func (d *SSD) doorbell(qid uint16, isCQ bool, val uint32) {
 	sq.tail = val % sq.ring.Entries
 	if !sq.fetching {
 		sq.fetching = true
+		if d.fast && qid != 0 {
+			// Fused fetch: starts one queue hop from now — the position of
+			// the classic fetch process's start event.
+			if sq.fs == nil {
+				sq.fs = newSQFetch(d, sq)
+			}
+			d.env.Schedule(0, sq.fs.stepFn)
+			return
+		}
 		d.env.Go(fmt.Sprintf("ssd/%s/sq%d", d.cfg.Serial, qid), func(p *sim.Proc) {
 			d.fetchLoop(p, sq)
 		})
@@ -410,18 +435,44 @@ func (d *SSD) postCQE(cqid uint16, cpl nvme.Completion) {
 		return
 	}
 	cpl.Phase = cq.phase
-	var buf [nvme.CQESize]byte
-	cpl.Encode(&buf)
+	cpl.Encode(&d.cqeBuf)
 	addr := cq.ring.SlotAddr(cq.tail)
 	cq.tail = cq.ring.Next(cq.tail)
 	if cq.tail == 0 {
 		cq.phase = !cq.phase
 	}
-	done := d.port.DMAWrite(addr, nvme.CQESize, buf[:])
+	done := d.port.DMAWrite(addr, nvme.CQESize, d.cqeBuf[:])
 	delay := done - d.env.Now()
 	if delay < 0 {
 		delay = 0
 	}
-	vec := int(cqid)
-	d.env.Schedule(delay, func() { d.port.RaiseIRQ(0, vec) })
+	d.postIRQ(delay, int(cqid))
+}
+
+// irqPost is a pooled deferred interrupt: the completion-side replacement
+// for a per-CQE closure. It is used by classic and fast paths alike — the
+// Schedule push position is unchanged, so it is trace-neutral.
+type irqPost struct {
+	d   *SSD
+	vec int
+	run func()
+}
+
+func (d *SSD) postIRQ(delay sim.Time, vec int) {
+	var m *irqPost
+	if n := len(d.irqPostFree); n > 0 {
+		m = d.irqPostFree[n-1]
+		d.irqPostFree = d.irqPostFree[:n-1]
+	} else {
+		m = &irqPost{d: d}
+		m.run = m.fire
+	}
+	m.vec = vec
+	d.env.Schedule(delay, m.run)
+}
+
+func (m *irqPost) fire() {
+	d, vec := m.d, m.vec
+	d.irqPostFree = append(d.irqPostFree, m)
+	d.port.RaiseIRQ(0, vec)
 }

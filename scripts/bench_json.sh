@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Machine-readable performance snapshot (`make bench-json`): times the fast
+# evaluation sweep serial and parallel, runs the alloc-gated hot-path
+# benchmarks, and emits one JSON record. CI uploads the file as an artifact
+# next to the figures-gate evidence so every PR carries its own before/after
+# numbers; EXPERIMENTS.md quotes the same fields.
+#
+# Output path: $1, else $BENCH_JSON_OUT, else BENCH_7.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-${BENCH_JSON_OUT:-BENCH_7.json}}
+par=${BENCH_PARALLEL:-$(nproc)}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# One binary for both sweep timings so `go run` compile time never pollutes
+# the wall-clock numbers.
+go build -o "$tmp/bmstore-bench" ./cmd/bmstore-bench
+
+now() { date +%s.%N; }
+
+echo "bench-json: fast sweep, serial" >&2
+t0=$(now)
+"$tmp/bmstore-bench" -scale fast -parallel 1 > /dev/null 2> /dev/null
+t1=$(now)
+serial=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.1f", b - a }')
+
+echo "bench-json: fast sweep, parallel=$par" >&2
+t0=$(now)
+"$tmp/bmstore-bench" -scale fast -parallel "$par" > /dev/null 2> /dev/null
+t1=$(now)
+parallel=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.1f", b - a }')
+
+echo "bench-json: alloc-gated benchmarks" >&2
+# 'Throughput$' covers the kernel scheduler benchmarks (internal/sim) and
+# the end-to-end BenchmarkIOPathThroughput (root) — the same set the
+# bench-gate pins. One op of the scheduler benchmark is one kernel event,
+# so its ns/op is the sweep's ns-per-event figure.
+bench=$(go test -run '^$' -bench 'Throughput$' -benchmem ./internal/sim/ .)
+
+ns_per_event=$(printf '%s\n' "$bench" |
+	awk 'index($1, "BenchmarkSchedulerThroughput") == 1 { print $3; exit }')
+
+rows=$(printf '%s\n' "$bench" | awk '
+	$1 ~ /^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		if (n++) printf ",\n"
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $(NF-1)
+	}')
+
+cat > "$out" <<EOF
+{
+  "pr": 7,
+  "generated_by": "scripts/bench_json.sh",
+  "sweep": {
+    "scale": "fast",
+    "serial_wall_s": $serial,
+    "parallel_wall_s": $parallel,
+    "parallel_workers": $par
+  },
+  "ns_per_event": $ns_per_event,
+  "benchmarks": [
+$rows
+  ]
+}
+EOF
+echo "bench-json: wrote $out (serial ${serial}s, parallel ${parallel}s @ $par workers)" >&2
+cat "$out"

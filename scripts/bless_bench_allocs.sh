@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Re-bless scripts/bench_allocs_baseline.txt (`make bench-baseline`): rerun
+# the gated benchmarks at the gate's own benchtimes and rewrite the baseline
+# from what they report. Use after an intentional allocation change — the
+# diff the commit carries IS the written justification the baseline header
+# asks for.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=scripts/bench_allocs_baseline.txt
+sim=$(go test -run '^$' -bench 'Throughput$' -benchtime=100x -benchmem ./internal/sim/)
+io=$(go test -run '^$' -bench '^BenchmarkIOPathThroughput$' -benchtime=1000x -benchmem .)
+
+{
+	cat <<'EOF'
+# allocs/op ceilings for the hot-path benchmarks, checked by
+# scripts/check_bench_allocs.sh (make bench-gate, CI).
+#
+# The event free-list and the Schedule callback fast path make the kernel's
+# steady state allocation-free, and the fused I/O path pools every carrier
+# (commands, CQEs, IRQ posts, PRP segments), so the end-to-end
+# BenchmarkIOPathThroughput is pinned at 0 allocs/op too. At the gate's
+# short benchtimes one-time warm-up (proc stacks, free-list priming) still
+# shows through for the process benchmark: 101 B/op rounds to 1 alloc/op.
+# Raising these numbers needs a written justification; regenerate with
+# `make bench-baseline`.
+EOF
+	printf '%s\n%s\n' "$sim" "$io" | awk '
+		$1 ~ /^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			print name, $(NF-1)
+		}'
+} > "$baseline"
+echo "bench-baseline: wrote $baseline:"
+cat "$baseline"

@@ -1,21 +1,27 @@
 #!/usr/bin/env bash
-# Alloc-regression gate for the simulation kernel's hot path.
+# Alloc-regression gate for the simulation hot paths.
 #
-# Runs the scheduler throughput benchmarks with -benchmem and compares each
-# benchmark's allocs/op against the committed baseline in
-# scripts/bench_allocs_baseline.txt. The kernel free-lists events and the
-# Schedule fast path allocates nothing, so the baseline is 0 allocs/op; any
-# change that reintroduces a per-event allocation fails this gate.
+# Runs the kernel scheduler throughput benchmarks (internal/sim) and the
+# end-to-end I/O path benchmark (BenchmarkIOPathThroughput, root package)
+# with -benchmem and compares each benchmark's allocs/op against the
+# committed baseline in scripts/bench_allocs_baseline.txt. The kernel
+# free-lists events, the fused data path pools every per-command carrier,
+# and the Schedule fast path allocates nothing, so the baselines are 0
+# allocs/op; any change that reintroduces a per-event or per-I/O allocation
+# fails this gate. Re-bless intentional changes with `make bench-baseline`.
 #
-# -benchtime=100x keeps the gate cheap: Go counts allocations exactly (no
-# sampling), so a short run is deterministic. The only 100x artifact is
+# Short fixed benchtimes keep the gate cheap: Go counts allocations exactly
+# (no sampling), so a short run is deterministic. The only artifact is
 # one-time warm-up cost showing through the per-op average; the committed
-# baselines account for it.
+# baselines account for it. The I/O path benchmark runs 1000x so its fixed
+# per-batch setup (worker processes) amortises to 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline=scripts/bench_allocs_baseline.txt
 out=$(go test -run '^$' -bench 'Throughput$' -benchtime=100x -benchmem ./internal/sim/)
+out+=$'\n'
+out+=$(go test -run '^$' -bench '^BenchmarkIOPathThroughput$' -benchtime=1000x -benchmem .)
 echo "$out"
 
 status=0
