@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke bench-smoke bench-gate bench-json bench-baseline profile-sweep flaky figures-gate goldens
+.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke timeline-smoke bench-smoke bench-gate bench-json bench-baseline profile-sweep flaky figures-gate goldens
 
 all: build test
 
@@ -57,6 +57,14 @@ fault-smoke:
 # replay.
 chaos-smoke:
 	bash scripts/chaos_smoke.sh
+
+# Always-on telemetry smoke: a timeline-recording fiosim run must export a
+# Perfetto trace that is byte-identical between serial and parallel
+# execution, matches the committed golden digest
+# (goldens/timeline_smoke.sha256), and round-trips through the offline
+# viewer (`bmsctl timeline`) to the same tail-attribution summary.
+timeline-smoke:
+	bash scripts/timeline_smoke.sh
 
 # One iteration of every benchmark — catches bit-rot in benchmark code and
 # gives a cheap overhead spot-check without a full measurement run.

@@ -20,7 +20,13 @@
 //
 // pretty-prints a metrics snapshot produced by fiosim/bmstore-bench
 // -metrics-out — the hottest latency stages across all rigs and the
-// queue-depth peaks — and
+// queue-depth peaks —
+//
+//	bmsctl timeline <trace.json> [waterfallN]
+//
+// inspects a -timeline-out Perfetto export offline: tail-latency
+// attribution across the worst-K requests plus ASCII waterfalls of the
+// slowest ones — and
 //
 //	bmsctl fidelity-diff <goldens-dir> <results.json>
 //
@@ -43,6 +49,7 @@ import (
 	"bmstore/internal/experiments"
 	"bmstore/internal/fidelity"
 	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/sim"
 )
 
@@ -53,6 +60,13 @@ func main() {
 	flag.Parse()
 	if args := flag.Args(); len(args) > 0 && args[0] == "stats" {
 		if err := runStats(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if args := flag.Args(); len(args) > 0 && args[0] == "timeline" {
+		if err := runTimeline(args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -263,6 +277,72 @@ func runFidelityDiff(args []string) (bool, error) {
 	return rep.OK(), nil
 }
 
+// runTimeline implements `bmsctl timeline <trace.json> [waterfallN]`: the
+// offline viewer for -timeline-out Perfetto exports. It reparses the trace
+// into timeline records, prints the tail-attribution summary, and renders
+// ASCII waterfalls for the N slowest retained requests (default 1) — the
+// terminal half of the forensics loop; the graphical half is loading the
+// same file in ui.perfetto.dev.
+func runTimeline(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: bmsctl timeline <trace.json> [waterfallN]")
+	}
+	waterfalls := 1
+	if len(args) == 2 {
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad waterfallN %q", args[1])
+		}
+		waterfalls = n
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rigs, err := timeline.ReadTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", args[0], err)
+	}
+	fmt.Printf("trace %s:\n", args[0])
+	if err := timeline.WriteSummary(os.Stdout, rigs); err != nil {
+		return err
+	}
+
+	// Slowest-first waterfalls across all rigs: worst-K sets when present,
+	// sampled records otherwise.
+	type slowRec struct {
+		rig string
+		rec *timeline.Rec
+	}
+	var pool []slowRec
+	for _, rig := range rigs {
+		recs := rig.Worst
+		if len(recs) == 0 {
+			recs = rig.Samples
+		}
+		for _, r := range recs {
+			pool = append(pool, slowRec{rig: rig.Name, rec: r})
+		}
+	}
+	sort.SliceStable(pool, func(i, j int) bool {
+		if pool[i].rec.E2E() != pool[j].rec.E2E() {
+			return pool[i].rec.E2E() > pool[j].rec.E2E()
+		}
+		return pool[i].rec.Seq < pool[j].rec.Seq
+	})
+	for i, s := range pool {
+		if i >= waterfalls {
+			break
+		}
+		fmt.Println()
+		if err := timeline.WriteWaterfall(os.Stdout, s.rig, s.rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runStats implements `bmsctl stats <snapshot.json> [topN]`: an offline
 // pretty-printer for -metrics-out snapshots.
 func runStats(args []string) error {
@@ -305,8 +385,13 @@ func runStats(args []string) error {
 		rig, comp, name string
 		peak            int64
 	}
+	type histRow struct {
+		rig, comp string
+		h         obs.HistSnap
+	}
 	var stages []stageRow
 	var gauges []gaugeRow
+	var hists []histRow
 	var reads, writes, dropped, collisions uint64
 	for _, rig := range multi.Rigs {
 		name := rig.Name
@@ -331,6 +416,11 @@ func runStats(args []string) error {
 			for _, g := range c.Gauges {
 				if g.Peak > 0 {
 					gauges = append(gauges, gaugeRow{rig: name, comp: c.Name, name: g.Name, peak: g.Peak})
+				}
+			}
+			for _, h := range c.Hists {
+				if h.N > 0 {
+					hists = append(hists, histRow{rig: name, comp: c.Name, h: h})
 				}
 			}
 		}
@@ -364,6 +454,28 @@ func runStats(args []string) error {
 				break
 			}
 			fmt.Printf("  %-12s %-20s %-14s %6d\n", g.rig, g.comp, g.name, g.peak)
+		}
+	}
+
+	// Component histograms, e.g. the driver's events_per_io (kernel events
+	// fired per I/O episode — the fleet-level cost event fusion attacks)
+	// and the SSD's media_ns. Latency histograms (name ends in _ns) print
+	// in µs; the rest are unitless counts and print raw.
+	sort.SliceStable(hists, func(i, j int) bool { return hists[i].h.MeanNS > hists[j].h.MeanNS })
+	if len(hists) > 0 {
+		fmt.Printf("\ncomponent histograms:\n")
+		fmt.Printf("  %-12s %-20s %-14s %9s %10s %10s %10s\n", "rig", "component", "hist", "count", "mean", "p50", "p99")
+		for i, r := range hists {
+			if i >= topN {
+				break
+			}
+			if strings.HasSuffix(r.h.Name, "_ns") {
+				fmt.Printf("  %-12s %-20s %-14s %9d %8.2fus %8.2fus %8.2fus\n",
+					r.rig, r.comp, r.h.Name, r.h.N, r.h.MeanNS/1e3, float64(r.h.P50NS)/1e3, float64(r.h.P99NS)/1e3)
+			} else {
+				fmt.Printf("  %-12s %-20s %-14s %9d %10.2f %10d %10d\n",
+					r.rig, r.comp, r.h.Name, r.h.N, r.h.MeanNS, r.h.P50NS, r.h.P99NS)
+			}
 		}
 	}
 	return nil

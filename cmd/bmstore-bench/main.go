@@ -33,6 +33,7 @@ import (
 	"bmstore/internal/experiments"
 	"bmstore/internal/fidelity"
 	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/trace"
 )
 
@@ -52,6 +53,10 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	classic := flag.Bool("classic", false, "force the classic process-per-command data path (A/B baseline; output is identical, only wall-clock changes)")
+	timelineOn := flag.Bool("timeline", false, "record sampled request timelines + worst-K tail forensics and print the tail-attribution summary (to stderr; stdout tables are unchanged)")
+	timelineOut := flag.String("timeline-out", "", "write recorded timelines as Chrome/Perfetto trace-event JSON to this file (- for stdout; implies recording)")
+	sampleEvery := flag.Int("sample", 64, "timeline sampling rate: keep every Nth request (with -timeline)")
+	slowestK := flag.Int("slowest", 16, "retain the K slowest requests' complete timelines (with -timeline)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -123,9 +128,14 @@ func main() {
 	// Metrics mirror the tracer structure: a Set hands every rig a private
 	// child registry and exports in sorted-name order, so -parallel never
 	// changes the snapshot bytes.
+	tlOn := *timelineOn || *timelineOut != ""
 	var mset *obs.Set
-	if *metricsOn || *metricsOut != "" || *breakdown {
-		mset = obs.NewSet(obs.Options{SeriesInterval: obs.DefaultSeriesInterval})
+	if *metricsOn || *metricsOut != "" || *breakdown || tlOn {
+		opts := obs.Options{SeriesInterval: obs.DefaultSeriesInterval}
+		if tlOn {
+			opts.Timeline = timeline.Config{SampleEvery: *sampleEvery, WorstK: *slowestK}
+		}
+		mset = obs.NewSet(opts)
 	}
 
 	h := experiments.NewHarness(sc, *parallel, traces).WithMetrics(mset).WithClassicPath(*classic)
@@ -164,6 +174,20 @@ func main() {
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(mset, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *timelineOn {
+		// Stderr, like the fidelity report: stdout must stay byte-identical
+		// to the committed bench_tables.txt whether or not -timeline is on.
+		if err := timeline.WriteSummary(os.Stderr, mset.TimelineDumps()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *timelineOut != "" {
+		if err := writeTimeline(mset, *timelineOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -262,4 +286,19 @@ func writeMetrics(mset *obs.Set, path string) error {
 		return mset.WriteCSV(w)
 	}
 	return mset.WriteJSON(w)
+}
+
+// writeTimeline exports the recorded timelines as Chrome/Perfetto
+// trace-event JSON to path, stdout for "-".
+func writeTimeline(mset *obs.Set, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return mset.WriteTimeline(w)
 }

@@ -33,6 +33,7 @@ import (
 	"bmstore/internal/fio"
 	"bmstore/internal/host"
 	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/sim"
 	"bmstore/internal/spdkvhost"
 	"bmstore/internal/trace"
@@ -58,6 +59,10 @@ func main() {
 	metricsOn := flag.Bool("metrics", false, "collect metrics and print the per-component summary")
 	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, otherwise JSON; - for stdout)")
 	breakdown := flag.Bool("breakdown", false, "print the per-stage request latency breakdown table")
+	timelineOn := flag.Bool("timeline", false, "record sampled request timelines + worst-K tail forensics and print the tail-attribution summary")
+	timelineOut := flag.String("timeline-out", "", "write recorded timelines as Chrome/Perfetto trace-event JSON to this file (- for stdout; implies recording)")
+	sampleEvery := flag.Int("sample", 64, "timeline sampling rate: keep every Nth request (with -timeline)")
+	slowestK := flag.Int("slowest", 16, "retain the K slowest requests' complete timelines (with -timeline)")
 	classic := flag.Bool("classic", false, "force the classic process-per-command data path (A/B baseline; output is identical, only wall-clock changes)")
 	flag.Parse()
 
@@ -123,9 +128,14 @@ func main() {
 		traces = trace.NewSet(opts)
 	}
 
+	tlOn := *timelineOn || *timelineOut != ""
 	var mset *obs.Set
-	if *metricsOn || *metricsOut != "" || *breakdown {
-		mset = obs.NewSet(obs.Options{SeriesInterval: obs.DefaultSeriesInterval})
+	if *metricsOn || *metricsOut != "" || *breakdown || tlOn {
+		opts := obs.Options{SeriesInterval: obs.DefaultSeriesInterval}
+		if tlOn {
+			opts.Timeline = timeline.Config{SampleEvery: *sampleEvery, WorstK: *slowestK}
+		}
+		mset = obs.NewSet(opts)
 	}
 
 	results := make([]*fio.Result, *runs)
@@ -221,6 +231,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *timelineOn {
+		fmt.Println()
+		if err := timeline.WriteSummary(os.Stdout, mset.TimelineDumps()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *timelineOut != "" {
+		if err := writeTimeline(mset, *timelineOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTimeline exports the recorded timelines as Chrome/Perfetto
+// trace-event JSON to path (stdout for "-"). Load the file in
+// ui.perfetto.dev or chrome://tracing, or inspect it offline with
+// `bmsctl timeline <file>`.
+func writeTimeline(mset *obs.Set, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return mset.WriteTimeline(w)
 }
 
 // runChaos parses "seed,count" and runs the chaos campaign: count seeded

@@ -1,0 +1,168 @@
+package bmstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"bmstore/internal/fio"
+	"bmstore/internal/host"
+	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
+	"bmstore/internal/sim"
+	"bmstore/internal/ssd"
+)
+
+// abMetricsOutcome extends the A/B observables with everything the
+// telemetry layer produced: the full metrics snapshot and the Perfetto
+// trace bytes of the sampled timelines.
+type abMetricsOutcome struct {
+	rand     *fio.Result
+	seq      *fio.Result
+	end      sim.Time
+	fastPath bool
+	events   uint64 // kernel events fired (intentionally path-dependent)
+	snapshot []byte
+	trace    []byte
+}
+
+// stripPathCost removes the metrics that measure host-kernel scheduling
+// cost rather than simulated behaviour: the "sim" component's counters and
+// the driver's events_per_io histogram. Those are exactly what the fused
+// fast path exists to reduce, so they legitimately differ between the A
+// and B runs; everything else must match byte for byte. It returns the
+// events_fired count it stripped.
+func stripPathCost(snap *obs.Snapshot) uint64 {
+	var events uint64
+	comps := snap.Components[:0]
+	for _, c := range snap.Components {
+		if c.Name == "sim" {
+			for _, ctr := range c.Counters {
+				if ctr.Name == "events_fired" {
+					events = ctr.Value
+				}
+			}
+			continue
+		}
+		hists := c.Hists[:0]
+		for _, h := range c.Hists {
+			if h.Name != "events_per_io" {
+				hists = append(hists, h)
+			}
+		}
+		c.Hists = hists
+		comps = append(comps, c)
+	}
+	snap.Components = comps
+	return events
+}
+
+// runABMetrics is runAB with always-on telemetry attached: a metrics
+// registry recording sampled request timelines (1-in-8) plus worst-8
+// tail forensics.
+func runABMetrics(t *testing.T, classic bool) abMetricsOutcome {
+	t.Helper()
+	met := obs.New(obs.Options{
+		SeriesInterval: obs.DefaultSeriesInterval,
+		Timeline:       timeline.Config{SampleEvery: 8, WorstK: 8},
+	})
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	cfg.NumSSDs = 2
+	cfg.DisableFastPath = classic
+	cfg.Metrics = met
+	cfg.Engine.ChunkBytes = 1 << 24
+	cfg.SSD = func(i int) ssd.Config {
+		c := ssd.P4510("AB" + string(rune('A'+i)))
+		c.CapacityBytes = 1 << 30
+		return c
+	}
+	tb, err := NewBMStoreTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out abMetricsOutcome
+	tb.Run(func(p *sim.Proc) {
+		if err := tb.Console.CreateNamespace(p, "vol", 64<<20, []int{0, 1}); err != nil {
+			panic(err)
+		}
+		if err := tb.Console.Bind(p, "vol", 0); err != nil {
+			panic(err)
+		}
+		drv, err := tb.AttachTenant(p, 0, host.DefaultDriverConfig())
+		if err != nil {
+			panic(err)
+		}
+		devs := []host.BlockDevice{drv.BlockDev(0), drv.BlockDev(1)}
+		out.rand = fio.Run(p, devs, fio.Spec{
+			Name: "ab-randrw", Pattern: fio.RandRW, BlockSize: 4096,
+			IODepth: 16, NumJobs: 2, Runtime: 4 * sim.Millisecond,
+		})
+		out.seq = fio.Run(p, devs, fio.Spec{
+			Name: "ab-seq", Pattern: fio.SeqWrite, BlockSize: 128 << 10,
+			IODepth: 8, NumJobs: 2, Runtime: 4 * sim.Millisecond,
+		})
+		out.end = p.Now()
+	})
+	out.fastPath = tb.Env.FastPath()
+	snapshot := met.Snapshot()
+	out.events = stripPathCost(&snapshot)
+	snap, err := json.Marshal(snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.snapshot = snap
+	var buf bytes.Buffer
+	if err := timeline.WriteTrace(&buf, []timeline.RigDump{met.Timeline().Dump("ab")}); err != nil {
+		t.Fatal(err)
+	}
+	out.trace = buf.Bytes()
+	return out
+}
+
+// TestFastPathMetricsTimelineEquivalence pins the always-on telemetry
+// boundary: attaching a metrics registry — including sampled timelines and
+// worst-K forensics — must not force the classic path, and the fused fast
+// path must produce byte-identical telemetry to the classic path, not just
+// identical workload results. A divergence here means an observation point
+// was placed at different virtual-time positions on the two paths.
+func TestFastPathMetricsTimelineEquivalence(t *testing.T) {
+	fast := runABMetrics(t, false)
+	classic := runABMetrics(t, true)
+
+	// The telemetry boundary itself: metrics+timeline leave the fast path
+	// on; DisableFastPath is what turned it off for the classic run.
+	if !fast.fastPath {
+		t.Error("Env.FastPath() is false with metrics+timeline attached; telemetry must not gate the fast path")
+	}
+	if classic.fastPath {
+		t.Error("Env.FastPath() is true despite DisableFastPath")
+	}
+
+	if fast.end != classic.end {
+		t.Fatalf("virtual end time diverged: fast %d, classic %d", fast.end, classic.end)
+	}
+	if !reflect.DeepEqual(fast.rand, classic.rand) {
+		t.Error("rand-rw fio results diverged between fast and classic with telemetry on")
+	}
+	if !reflect.DeepEqual(fast.seq, classic.seq) {
+		t.Error("seq fio results diverged between fast and classic with telemetry on")
+	}
+	if !bytes.Equal(fast.snapshot, classic.snapshot) {
+		t.Errorf("metrics snapshot JSON diverged between fast and classic paths:\nfast:    %d bytes\nclassic: %d bytes",
+			len(fast.snapshot), len(classic.snapshot))
+	}
+	// The stripped path-cost metric should show fusion working: the fast
+	// path fires strictly fewer kernel events for the identical workload.
+	if fast.events >= classic.events {
+		t.Errorf("fast path fired %d kernel events, classic %d; fusion should reduce them", fast.events, classic.events)
+	}
+	if !bytes.Equal(fast.trace, classic.trace) {
+		t.Errorf("Perfetto trace bytes diverged between fast and classic paths:\nfast:    %d bytes\nclassic: %d bytes",
+			len(fast.trace), len(classic.trace))
+	}
+	if len(fast.trace) == 0 || !bytes.Contains(fast.trace, []byte(`"bmstore_rig"`)) {
+		t.Error("trace export looks empty; the recorder never saw the workload")
+	}
+}

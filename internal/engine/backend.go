@@ -7,6 +7,7 @@ import (
 	"bmstore/internal/fault"
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/ssd"
@@ -272,6 +273,7 @@ func (b *backend) adminCmd(p *sim.Proc, cmd nvme.Command) nvme.Completion {
 // device-side (serial, queue, CID) coordinates so the SSD can attribute
 // its media time to the right request span.
 func (b *backend) submitIO(p *sim.Proc, cmd nvme.Command, qhint int, skey uint64, done func(nvme.Completion)) {
+	subT0 := b.e.env.Now()
 	b.waitGate(p)
 	if b.e.flt != nil {
 		// Injected host-adaptor stall: submissions to this SSD are held for
@@ -297,6 +299,11 @@ func (b *backend) submitIO(p *sim.Proc, cmd nvme.Command, qhint int, skey uint64
 	b.inflight++
 	if b.e.met != nil {
 		if skey != 0 {
+			if b.e.tl {
+				// Quiesce-gate plus backend SQ slot wait, measured from
+				// submit entry to the slot grant.
+				b.e.met.SpanWait(skey, timeline.WaitBackend, int64(b.e.env.Now()-subT0))
+			}
 			b.e.met.SpanAlias(skey, obs.DevKey(b.dev.Config().Serial, sq.id, cid))
 		}
 		b.mInflight.Inc(b.e.env.Now())

@@ -15,6 +15,7 @@ import (
 
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 )
@@ -129,6 +130,7 @@ type feIO struct {
 	nlb    uint32
 	nBytes int
 	start0 sim.Time
+	qosT0  sim.Time
 
 	extents    []Extent
 	subs       []subCommand
@@ -245,10 +247,14 @@ func (io *feIO) mapped() {
 		io.fail(nvme.StatusInternal)
 		return
 	}
+	io.qosT0 = io.e.env.Now()
 	io.ns.admitCB(io.nBytes, io.admittedFn)
 }
 
 func (io *feIO) admitted(any) {
+	if io.e.tl {
+		io.e.met.SpanWait(io.skey, timeline.WaitQoS, int64(io.e.env.Now()-io.qosT0))
+	}
 	io.start0 = io.e.env.Now()
 	// PRP conversion: the in-pipeline tag path needs no memory touch; list
 	// transfers walk the host PRPs (fetching list pages) then assemble.
@@ -393,6 +399,7 @@ type beSubmit struct {
 	cmd       nvme.Command
 	qhint     int
 	skey      uint64
+	t0        sim.Time
 	done      func(nvme.Completion)
 	submitted func()
 
@@ -419,6 +426,7 @@ func (b *backend) submitIOCB(cmd nvme.Command, qhint int, skey uint64, done func
 		s.slotFn = s.slot
 	}
 	s.cmd, s.qhint, s.skey, s.done, s.submitted = cmd, qhint, skey, done, submitted
+	s.t0 = b.e.env.Now()
 	s.gate(nil)
 }
 
@@ -446,6 +454,11 @@ func (s *beSubmit) slot(any) {
 	b.inflight++
 	if b.e.met != nil {
 		if s.skey != 0 {
+			if b.e.tl {
+				// Same measurement window as the classic submitIO: submit
+				// entry to backend SQ slot grant.
+				b.e.met.SpanWait(s.skey, timeline.WaitBackend, int64(b.e.env.Now()-s.t0))
+			}
 			b.e.met.SpanAlias(s.skey, obs.DevKey(b.dev.Config().Serial, sq.id, cid))
 		}
 		b.mInflight.Inc(b.e.env.Now())

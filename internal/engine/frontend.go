@@ -6,6 +6,7 @@ import (
 
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 )
@@ -315,7 +316,11 @@ func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint
 
 	// QoS admission: over-threshold commands park in the command buffer
 	// until the dispatcher re-admits them.
+	qosT0 := p.Now()
 	ns.admit(p, nBytes)
+	if f.e.tl {
+		f.e.met.SpanWait(skey, timeline.WaitQoS, int64(p.Now()-qosT0))
+	}
 
 	// PRP conversion to global PRPs.
 	start := p.Now()

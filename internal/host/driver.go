@@ -6,6 +6,7 @@ import (
 
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/trace"
@@ -67,6 +68,7 @@ type Driver struct {
 	// a request span per non-flush I/O, keyed by (fn, qid, CID) — the same
 	// identity the engine front end sees on the other side of the wire.
 	met          *obs.Registry
+	tl           bool // timeline recording on (cached from the registry)
 	mInflight    *obs.Gauge
 	mDoorbells   *obs.Counter
 	mCQEs        *obs.Counter
@@ -175,6 +177,7 @@ func AttachDriver(p *sim.Proc, h *Host, port *pcie.Port, fn pcie.FuncID, cfg Dri
 		d.mAborts = comp.Counter("aborts")
 		d.mRetries = comp.Counter("retries")
 		d.mEventsPerIO = comp.Hist("events_per_io")
+		d.tl = met.TimelineEnabled()
 	}
 	h.register(d)
 
@@ -476,7 +479,9 @@ func (d *Driver) ioAttempt(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf
 	p.Sleep(sub)
 
 	q := d.queues[qIdx%len(d.queues)]
+	slotT0 := d.h.Env.Now()
 	q.slots.Acquire(p)
+	slotWait := int64(d.h.Env.Now() - slotT0)
 	slot := q.free[len(q.free)-1]
 	q.free = q.free[:len(q.free)-1]
 	d.ioc.Submitted++
@@ -510,6 +515,12 @@ func (d *Driver) ioAttempt(p *sim.Proc, op uint8, lba uint64, blocks uint32, buf
 		now := d.h.Env.Now()
 		d.met.SpanStart(spanKey, spanOp, spanT0)
 		d.met.SpanMark(spanKey, obs.MarkDoorbell, now)
+		if d.tl {
+			// Queue depth as seen at this doorbell (before counting
+			// ourselves), plus the time this attempt waited for an SQ slot.
+			d.met.SpanQD(spanKey, d.mInflight.Value())
+			d.met.SpanWait(spanKey, timeline.WaitHostQ, slotWait)
+		}
 		d.mInflight.Inc(now)
 	}
 	d.mDoorbells.Inc()

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"bmstore/internal/stats"
 )
@@ -209,9 +210,20 @@ func (m MultiSnapshot) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// csvField quotes a label per RFC 4180 when it contains a comma, quote or
+// newline; plain labels pass through unchanged, keeping existing output
+// byte-identical.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
 func (s Snapshot) writeCSVRows(w io.Writer) error {
 	row := func(component, kind, name, field string, value string) error {
-		_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s\n", s.Name, component, kind, name, field, value)
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s\n",
+			csvField(s.Name), csvField(component), kind, csvField(name), field, value)
 		return err
 	}
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strconv"
 
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/stats"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	// fixed-interval series kept by gauges and rate counters. Zero or
 	// negative disables series (scalar values and peaks are still kept).
 	SeriesInterval int64
+
+	// Timeline configures sampled request timelines and worst-K tail
+	// forensics (see internal/obs/timeline). The zero value disables
+	// timeline recording; span instrumentation alone stays on.
+	Timeline timeline.Config
 }
 
 // DefaultSeriesInterval is the bin width New uses: 1 ms of virtual time,
@@ -54,6 +60,7 @@ type Registry struct {
 	comps   map[string]*Component
 	instSeq map[string]int
 	spans   spanTable
+	tl      *timeline.Recorder
 }
 
 // New returns a registry with the given options.
@@ -62,6 +69,7 @@ func New(opts Options) *Registry {
 		opts:    opts,
 		comps:   make(map[string]*Component),
 		instSeq: make(map[string]int),
+		tl:      timeline.NewRecorder(opts.Timeline),
 	}
 	r.spans.init()
 	return r
@@ -69,6 +77,20 @@ func New(opts Options) *Registry {
 
 // NewRegistry returns a registry with the default 1 ms series interval.
 func NewRegistry() *Registry { return New(Options{SeriesInterval: DefaultSeriesInterval}) }
+
+// Timeline returns the registry's timeline recorder, nil when timeline
+// recording is disabled (nil is the free recorder: every method no-ops).
+func (r *Registry) Timeline() *timeline.Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.tl
+}
+
+// TimelineEnabled reports whether timeline recording is on. Components
+// cache this once at construction so observation points that only feed the
+// timeline (queue depth, wait attribution) cost a single bool test when off.
+func (r *Registry) TimelineEnabled() bool { return r != nil && r.tl != nil }
 
 // Component returns the named component, creating it on first use. Nil-safe:
 // a nil registry returns a nil component, whose instrument getters in turn

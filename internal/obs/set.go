@@ -4,6 +4,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"bmstore/internal/obs/timeline"
 )
 
 // Set is a family of per-rig registries, the metrics counterpart of
@@ -100,4 +102,28 @@ func (s *Set) Aggregate() *SpanAgg {
 // WriteBreakdown prints the per-stage latency table merged across rigs.
 func (s *Set) WriteBreakdown(w io.Writer) error {
 	return s.Aggregate().WriteBreakdown(w)
+}
+
+// TimelineDumps snapshots every rig's retained timelines in sorted-name
+// order, skipping rigs without a recorder. Sorted-name order makes a
+// parallel sweep's dump identical to a serial one's.
+func (s *Set) TimelineDumps() []timeline.RigDump {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []timeline.RigDump
+	for _, name := range s.sortedNames() {
+		if rec := s.children[name].Timeline(); rec != nil {
+			out = append(out, rec.Dump(name))
+		}
+	}
+	return out
+}
+
+// WriteTimeline writes the whole family's retained timelines as one
+// deterministic Chrome/Perfetto trace-event JSON document.
+func (s *Set) WriteTimeline(w io.Writer) error {
+	return timeline.WriteTrace(w, s.TimelineDumps())
 }

@@ -1,6 +1,9 @@
 package obs
 
-import "bmstore/internal/stats"
+import (
+	"bmstore/internal/obs/timeline"
+	"bmstore/internal/stats"
+)
 
 // Request-lifecycle spans. Each non-flush I/O the host driver submits
 // carries a span keyed by its NVMe identity (function, queue, CID) — the
@@ -107,7 +110,10 @@ func DevKey(serial string, qid, cid uint16) uint64 {
 	return h<<32 ^ uint64(qid)<<16 ^ uint64(cid)
 }
 
-// span is one in-flight request's lifecycle record.
+// span is one in-flight request's lifecycle record. When the registry has a
+// timeline recorder and this request is sampled (or worst-K tracking is on),
+// rec is the request's pooled timeline carrier, bound once at SpanStart and
+// released exactly once at SpanFinish (or on collision abandonment).
 type span struct {
 	op      Op
 	set     uint16
@@ -115,6 +121,19 @@ type span struct {
 	ts      [numMarks]int64
 	media   int64
 	aliases []uint64
+	rec     *timeline.Rec
+}
+
+// markPoint maps span marks to their timeline points, so every SpanMark
+// feeds the bound carrier without a second instrumentation call site.
+var markPoint = [numMarks]timeline.Point{
+	MarkStart:       timeline.PtStart,
+	MarkDoorbell:    timeline.PtDoorbell,
+	MarkDispatch:    timeline.PtDispatch,
+	MarkMapped:      timeline.PtMapped,
+	MarkBackendDone: timeline.PtBackendDone,
+	MarkCQE:         timeline.PtCQE,
+	MarkFinish:      timeline.PtFinish,
 }
 
 // spanTable is the registry's span state: live spans by host key, alias
@@ -152,12 +171,19 @@ func (r *Registry) SpanStart(key uint64, op Op, t int64) {
 	if old, ok := tb.live[key]; ok {
 		tb.collisions++
 		tb.unalias(old)
+		if old.rec != nil {
+			r.tl.Drop(old.rec)
+			old.rec = nil
+		}
 		tb.recycle(old)
 	}
 	sp := tb.get()
 	sp.op = op
 	sp.set = 1 << MarkStart
 	sp.ts[MarkStart] = t
+	if r.tl != nil {
+		sp.rec = r.tl.Start(op == OpWrite, t)
+	}
 	tb.live[key] = sp
 }
 
@@ -170,6 +196,67 @@ func (r *Registry) SpanMark(key uint64, m Mark, t int64) {
 	if sp, ok := r.spans.live[key]; ok {
 		sp.ts[m] = t
 		sp.set |= 1 << m
+		if sp.rec != nil {
+			sp.rec.Mark(markPoint[m], t)
+		}
+	}
+}
+
+// SpanQD records the queue depth the request saw at its doorbell on the
+// request's timeline carrier (no-op when the request is unsampled or
+// timeline recording is off).
+func (r *Registry) SpanQD(key uint64, qd int64) {
+	if r == nil || r.tl == nil {
+		return
+	}
+	if sp, ok := r.spans.live[key]; ok && sp.rec != nil {
+		sp.rec.QD = qd
+	}
+}
+
+// SpanWait attributes d nanoseconds of resource waiting (host queue slot,
+// QoS admission, backend queue) to the request's timeline carrier.
+func (r *Registry) SpanWait(key uint64, w timeline.Wait, d int64) {
+	if r == nil || r.tl == nil {
+		return
+	}
+	if sp, ok := r.spans.live[key]; ok {
+		sp.rec.AddWait(w, d)
+	}
+}
+
+// SpanWaitDev is SpanWait through a device-domain alias, for components
+// that only see the backend identity (NAND die waits inside the SSD).
+func (r *Registry) SpanWaitDev(alias uint64, w timeline.Wait, d int64) {
+	if r == nil || r.tl == nil {
+		return
+	}
+	if sp, ok := r.spans.alias[alias]; ok {
+		sp.rec.AddWait(w, d)
+	}
+}
+
+// SpanPhases attributes the device-side NAND and DMA phase intervals to the
+// span behind the device-domain alias. Sub-commands of one I/O run their
+// phases in parallel on different SSDs; the carrier keeps the sub-command
+// whose phase ends last — the one that gated completion — mirroring
+// SpanMedia's max semantics.
+func (r *Registry) SpanPhases(alias uint64, nandStart, nandEnd, dmaStart, dmaEnd int64) {
+	if r == nil || r.tl == nil {
+		return
+	}
+	sp, ok := r.spans.alias[alias]
+	if !ok || sp.rec == nil {
+		return
+	}
+	rec := sp.rec
+	if nandEnd > nandStart && (!rec.Has(timeline.PtNandEnd) || nandEnd > rec.TS[timeline.PtNandEnd]) {
+		rec.Mark(timeline.PtNandStart, nandStart)
+		rec.Mark(timeline.PtNandEnd, nandEnd)
+	}
+	if dmaEnd > dmaStart && (!rec.Has(timeline.PtDmaEnd) || dmaEnd > rec.TS[timeline.PtDmaEnd]) {
+		rec.Mark(timeline.PtDmaStart, dmaStart)
+		rec.Mark(timeline.PtDmaEnd, dmaEnd)
 	}
 }
 
@@ -228,6 +315,14 @@ func (r *Registry) SpanFinish(key uint64, t int64) {
 	tb.unalias(sp)
 	sp.ts[MarkFinish] = t
 	sp.set |= 1 << MarkFinish
+	if sp.rec != nil {
+		if sp.errored {
+			r.tl.Drop(sp.rec)
+		} else {
+			r.tl.Finish(sp.rec, t)
+		}
+		sp.rec = nil
+	}
 	tb.fold(sp)
 	tb.recycle(sp)
 }

@@ -1,0 +1,474 @@
+// Package timeline records sampled per-request stage timelines and worst-K
+// tail forensics for the always-on telemetry layer.
+//
+// A Recorder captures, for a deterministic 1-in-N sample of requests plus
+// the K slowest requests seen, the full lifecycle timeline: every stage
+// timestamp from driver entry through doorbell, engine dispatch, NAND and
+// DMA phases, CQE reap and return — plus the queue depth the request saw at
+// its doorbell and a per-resource wait attribution (host queue slot, QoS
+// admission, backend queue, NAND die).
+//
+// The package follows the obs layer's rules: virtual time only (timestamps
+// travel as plain int64 nanoseconds), passive observation only (nothing here
+// schedules events or reads the wall clock), and nil means free (every
+// method is safe on a nil receiver). It deliberately depends on the standard
+// library alone so the obs registry — which the sim kernel holds — can embed
+// a Recorder without an import cycle.
+//
+// Allocation discipline: carriers (Rec) come from a free list. An unsampled
+// request either gets no carrier at all (worst-K disabled) or returns its
+// pooled carrier at finish, so steady-state recording is allocation-free on
+// unsampled requests — the property the bench gate pins at 0 allocs/op.
+package timeline
+
+import "sort"
+
+// Point identifies one lifecycle timestamp within a request timeline, in
+// path order. The first four and last three mirror the obs span marks; the
+// NAND/DMA points are device-phase intervals the SSD attributes through the
+// span's device-domain alias.
+type Point uint8
+
+// Timeline points.
+const (
+	PtStart       Point = iota // host driver accepted the I/O
+	PtDoorbell                 // SQ tail doorbell rung
+	PtDispatch                 // engine front end picked the SQE up
+	PtMapped                   // LBA mapping + QoS admission + PRP rewrite done
+	PtNandStart                // device media phase start
+	PtNandEnd                  // device media phase end
+	PtDmaStart                 // payload transfer start (device side)
+	PtDmaEnd                   // payload transfer end (device side)
+	PtBackendDone              // last backend sub-completion joined
+	PtCQE                      // host reaped the CQE (MSI-X path)
+	PtFinish                   // driver returned to the caller
+	NumPoints
+)
+
+// String returns the point's label.
+func (p Point) String() string {
+	switch p {
+	case PtStart:
+		return "start"
+	case PtDoorbell:
+		return "doorbell"
+	case PtDispatch:
+		return "dispatch"
+	case PtMapped:
+		return "mapped"
+	case PtNandStart:
+		return "nand-start"
+	case PtNandEnd:
+		return "nand-end"
+	case PtDmaStart:
+		return "dma-start"
+	case PtDmaEnd:
+		return "dma-end"
+	case PtBackendDone:
+		return "backend-done"
+	case PtCQE:
+		return "cqe"
+	case PtFinish:
+		return "finish"
+	}
+	return "?"
+}
+
+// Wait identifies one resource-wait bucket of a request's wait attribution.
+type Wait uint8
+
+// Wait buckets.
+const (
+	WaitHostQ   Wait = iota // host driver submission-queue slot
+	WaitQoS                 // namespace QoS admission (command buffer park)
+	WaitBackend             // backend quiesce gate + backend SQ slot
+	WaitDie                 // NAND die acquisition (max across parallel stripes)
+	NumWaits
+)
+
+// String returns the wait bucket's label.
+func (w Wait) String() string {
+	switch w {
+	case WaitHostQ:
+		return "host-q"
+	case WaitQoS:
+		return "qos"
+	case WaitBackend:
+		return "backend-q"
+	case WaitDie:
+		return "die"
+	}
+	return "?"
+}
+
+// Rec is one request's captured timeline: a fixed-size, poolable record.
+// TS entries are valid only where the matching Has bit is set.
+type Rec struct {
+	Seq   uint64 // request ordinal within the rig (1-based, every request counted)
+	Write bool
+	QD    int64 // in-flight I/Os on the driver when this one rang the doorbell
+	set   uint16
+	TS    [NumPoints]int64
+	Waits [NumWaits]int64
+
+	sampled bool
+}
+
+// Mark records one timeline point at virtual time t.
+func (r *Rec) Mark(p Point, t int64) {
+	if r == nil {
+		return
+	}
+	r.TS[p] = t
+	r.set |= 1 << p
+}
+
+// Has reports whether the point was recorded.
+func (r *Rec) Has(p Point) bool { return r != nil && r.set&(1<<p) != 0 }
+
+// AddWait attributes d nanoseconds of waiting to bucket w. Sequential waits
+// (host queue, QoS, backend) accumulate; die waits happen on parallel
+// stripes, so that bucket keeps the maximum — the stripe that gated the
+// media phase.
+func (r *Rec) AddWait(w Wait, d int64) {
+	if r == nil || d <= 0 {
+		return
+	}
+	if w == WaitDie {
+		if d > r.Waits[w] {
+			r.Waits[w] = d
+		}
+		return
+	}
+	r.Waits[w] += d
+}
+
+// E2E returns the end-to-end latency (finish minus start).
+func (r *Rec) E2E() int64 { return r.TS[PtFinish] - r.TS[PtStart] }
+
+// Comp identifies which component's track a stage belongs to.
+type Comp uint8
+
+// Track components.
+const (
+	CompHost Comp = iota
+	CompEngine
+	CompDevice
+	NumComps
+)
+
+// String returns the component's track label.
+func (c Comp) String() string {
+	switch c {
+	case CompHost:
+		return "host"
+	case CompEngine:
+		return "engine"
+	case CompDevice:
+		return "device"
+	}
+	return "?"
+}
+
+// StageSpan is one derived stage interval of a timeline.
+type StageSpan struct {
+	Name     string
+	Comp     Comp
+	From, To int64
+	Sub      bool // sub-interval (nand/dma): inside backend, not a partition member
+}
+
+// Stages appends rec's stage intervals to out (reusing its capacity) in
+// fixed path order. Partition stages (Sub=false) tile the request's lifetime
+// exactly, mirroring the obs breakdown's fold; nand/dma are informational
+// sub-intervals of the backend (or device) stage.
+func (r *Rec) Stages(out []StageSpan) []StageSpan {
+	out = out[:0]
+	if !r.Has(PtStart) || !r.Has(PtDoorbell) || !r.Has(PtCQE) || !r.Has(PtFinish) {
+		return out
+	}
+	add := func(name string, c Comp, from, to Point, sub bool) {
+		if r.Has(from) && r.Has(to) {
+			out = append(out, StageSpan{Name: name, Comp: c, From: r.TS[from], To: r.TS[to], Sub: sub})
+		}
+	}
+	add("submit", CompHost, PtStart, PtDoorbell, false)
+	if r.Has(PtDispatch) {
+		add("frontend", CompEngine, PtDoorbell, PtDispatch, false)
+		add("map+qos", CompEngine, PtDispatch, PtMapped, false)
+		add("backend", CompEngine, PtMapped, PtBackendDone, false)
+		add("complete", CompEngine, PtBackendDone, PtCQE, false)
+	} else {
+		add("device", CompDevice, PtDoorbell, PtCQE, false)
+	}
+	add("nand", CompDevice, PtNandStart, PtNandEnd, true)
+	add("dma", CompDevice, PtDmaStart, PtDmaEnd, true)
+	add("reap", CompHost, PtCQE, PtFinish, false)
+	return out
+}
+
+// OpString returns "read" or "write".
+func (r *Rec) OpString() string {
+	if r.Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Config configures a Recorder. The zero value disables recording.
+type Config struct {
+	// SampleEvery keeps every Nth request's full timeline (deterministic
+	// counter-based sampling — never an RNG, so a given seed always samples
+	// the same requests). Zero disables sampling.
+	SampleEvery int
+	// WorstK retains the K slowest requests' complete timelines in a bounded
+	// min-heap keyed on end-to-end latency, so tail outliers are explained
+	// even when unsampled. Zero disables; note that a nonzero WorstK gives
+	// every request a pooled carrier (it might turn out slowest), while
+	// sampling alone leaves unsampled requests carrier-free.
+	WorstK int
+	// MaxSamples bounds the retained sample list per rig (memory and
+	// allocation bound for long runs). Zero means DefaultMaxSamples.
+	MaxSamples int
+}
+
+// Enabled reports whether the configuration records anything.
+func (c Config) Enabled() bool { return c.SampleEvery > 0 || c.WorstK > 0 }
+
+// DefaultMaxSamples caps retained samples per rig unless overridden.
+const DefaultMaxSamples = 4096
+
+// Recorder captures request timelines for one rig. Like the obs registry it
+// belongs to, it is single-threaded and purely passive.
+type Recorder struct {
+	cfg Config
+	max int
+
+	n          uint64 // request ordinal (counts every request, sampled or not)
+	overflow   uint64 // sampled requests dropped at the MaxSamples cap
+	errDropped uint64 // carriers dropped on the error/abandon path
+
+	samples []*Rec
+	worst   []*Rec // min-heap: root is the least-slow retained record
+	free    []*Rec
+}
+
+// NewRecorder returns a recorder, or nil when the configuration disables
+// recording (nil is the "free" recorder: every method no-ops).
+func NewRecorder(cfg Config) *Recorder {
+	if !cfg.Enabled() {
+		return nil
+	}
+	max := cfg.MaxSamples
+	if max <= 0 {
+		max = DefaultMaxSamples
+	}
+	return &Recorder{cfg: cfg, max: max}
+}
+
+// Config returns the recorder's configuration (zero on nil).
+func (r *Recorder) Config() Config {
+	if r == nil {
+		return Config{}
+	}
+	return r.cfg
+}
+
+// Start observes one request beginning at virtual time t and returns its
+// carrier: a pooled Rec when the request is sampled or worst-K tracking is
+// armed, nil otherwise. The caller marks points on the carrier and must hand
+// it back through Finish or Drop exactly once.
+func (r *Recorder) Start(write bool, t int64) *Rec {
+	if r == nil {
+		return nil
+	}
+	r.n++
+	sampled := r.cfg.SampleEvery > 0 && r.n%uint64(r.cfg.SampleEvery) == 0
+	if sampled && len(r.samples) >= r.max {
+		sampled = false
+		r.overflow++
+	}
+	if !sampled && r.cfg.WorstK <= 0 {
+		return nil
+	}
+	rec := r.get()
+	rec.Seq = r.n
+	rec.Write = write
+	rec.sampled = sampled
+	rec.Mark(PtStart, t)
+	return rec
+}
+
+// Finish closes the carrier at virtual time t and routes it: sampled records
+// are retained, records slow enough for the worst-K heap are kept there
+// (cloned when also sampled), everything else returns to the pool.
+func (r *Recorder) Finish(rec *Rec, t int64) {
+	if r == nil || rec == nil {
+		return
+	}
+	rec.Mark(PtFinish, t)
+	sampled := rec.sampled
+	if sampled {
+		r.samples = append(r.samples, rec)
+	}
+	if k := r.cfg.WorstK; k > 0 && (len(r.worst) < k || recMin(r.worst[0], rec)) {
+		keep := rec
+		if sampled {
+			keep = r.get()
+			*keep = *rec
+		}
+		if len(r.worst) == k {
+			evicted := r.popMin()
+			r.recycle(evicted)
+		}
+		r.push(keep)
+	} else if !sampled {
+		r.recycle(rec)
+	}
+}
+
+// Drop abandons the carrier without retaining it: error-path requests
+// (timeouts, failed attempts) and collision-abandoned spans. Error timings
+// would skew both the sample set and the worst-K heap the way they would
+// skew the breakdown's partition property, so they are counted, not kept.
+func (r *Recorder) Drop(rec *Rec) {
+	if r == nil || rec == nil {
+		return
+	}
+	r.errDropped++
+	r.recycle(rec)
+}
+
+// Requests returns how many requests were observed (sampled or not).
+func (r *Recorder) Requests() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Sampled returns how many sampled timelines are retained.
+func (r *Recorder) Sampled() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.samples)
+}
+
+// WorstLen returns how many worst-K timelines are currently held.
+func (r *Recorder) WorstLen() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.worst)
+}
+
+// Overflow returns how many sampled requests were dropped at the cap.
+func (r *Recorder) Overflow() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.overflow
+}
+
+// Dropped returns how many carriers ended on the error/abandon path.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.errDropped
+}
+
+// RigDump is one rig's exported timeline state: retained samples in request
+// order and the worst-K set slowest-first. The Rec pointers alias recorder
+// state and are read-only.
+type RigDump struct {
+	Name     string
+	Requests uint64
+	Samples  []*Rec
+	Worst    []*Rec
+}
+
+// Dump snapshots the recorder's retained timelines under the given rig
+// name. Samples sort by ascending Seq, Worst by descending end-to-end
+// latency (ties: ascending Seq) — both total orders, so the dump is a pure
+// function of the simulation.
+func (r *Recorder) Dump(name string) RigDump {
+	d := RigDump{Name: name}
+	if r == nil {
+		return d
+	}
+	d.Requests = r.n
+	d.Samples = append([]*Rec(nil), r.samples...)
+	sort.Slice(d.Samples, func(i, j int) bool { return d.Samples[i].Seq < d.Samples[j].Seq })
+	d.Worst = append([]*Rec(nil), r.worst...)
+	sort.Slice(d.Worst, func(i, j int) bool {
+		if d.Worst[i].E2E() != d.Worst[j].E2E() {
+			return d.Worst[i].E2E() > d.Worst[j].E2E()
+		}
+		return d.Worst[i].Seq < d.Worst[j].Seq
+	})
+	return d
+}
+
+// recMin orders the worst-K min-heap: a < b means a is evicted before b.
+// Slower requests rank higher; among equal latencies the first-seen request
+// wins (later Seq ranks lower), which keeps retention deterministic.
+func recMin(a, b *Rec) bool {
+	if a.E2E() != b.E2E() {
+		return a.E2E() < b.E2E()
+	}
+	return a.Seq > b.Seq
+}
+
+func (r *Recorder) push(rec *Rec) {
+	r.worst = append(r.worst, rec)
+	i := len(r.worst) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !recMin(r.worst[i], r.worst[parent]) {
+			break
+		}
+		r.worst[i], r.worst[parent] = r.worst[parent], r.worst[i]
+		i = parent
+	}
+}
+
+func (r *Recorder) popMin() *Rec {
+	min := r.worst[0]
+	n := len(r.worst) - 1
+	r.worst[0] = r.worst[n]
+	r.worst[n] = nil
+	r.worst = r.worst[:n]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		small := i
+		if l < n && recMin(r.worst[l], r.worst[small]) {
+			small = l
+		}
+		if rt < n && recMin(r.worst[rt], r.worst[small]) {
+			small = rt
+		}
+		if small == i {
+			break
+		}
+		r.worst[i], r.worst[small] = r.worst[small], r.worst[i]
+		i = small
+	}
+	return min
+}
+
+func (r *Recorder) get() *Rec {
+	if n := len(r.free); n > 0 {
+		rec := r.free[n-1]
+		r.free = r.free[:n-1]
+		return rec
+	}
+	return &Rec{}
+}
+
+func (r *Recorder) recycle(rec *Rec) {
+	*rec = Rec{}
+	r.free = append(r.free, rec)
+}

@@ -1,0 +1,261 @@
+package timeline
+
+import (
+	"testing"
+)
+
+// finishRec drives one request through the recorder with the given
+// end-to-end latency, marking enough points for a valid timeline.
+func finishRec(r *Recorder, start, e2e int64) *Rec {
+	rec := r.Start(false, start)
+	rec.Mark(PtDoorbell, start+1)
+	rec.Mark(PtCQE, start+e2e-1)
+	r.Finish(rec, start+e2e)
+	return rec
+}
+
+func TestNilRecorderIsFree(t *testing.T) {
+	if r := NewRecorder(Config{}); r != nil {
+		t.Fatalf("zero config should yield a nil recorder, got %+v", r)
+	}
+	var r *Recorder
+	rec := r.Start(true, 5)
+	if rec != nil {
+		t.Fatal("nil recorder handed out a carrier")
+	}
+	// Every method must no-op on nil receivers, carriers included.
+	rec.Mark(PtDoorbell, 6)
+	rec.AddWait(WaitDie, 7)
+	r.Finish(rec, 8)
+	r.Drop(rec)
+	if r.Requests() != 0 || r.Sampled() != 0 || r.WorstLen() != 0 || r.Overflow() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder reported nonzero state")
+	}
+	d := r.Dump("rig")
+	if d.Name != "rig" || d.Requests != 0 || len(d.Samples) != 0 || len(d.Worst) != 0 {
+		t.Fatalf("nil recorder dump not empty: %+v", d)
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 4})
+	for i := 0; i < 100; i++ {
+		rec := r.Start(false, int64(i)*10)
+		// With worst-K off, only every 4th request gets a carrier at all.
+		if want := (i+1)%4 == 0; (rec != nil) != want {
+			t.Fatalf("request %d: carrier=%v, want %v", i+1, rec != nil, want)
+		}
+		if rec != nil {
+			rec.Mark(PtDoorbell, int64(i)*10+1)
+			rec.Mark(PtCQE, int64(i)*10+4)
+		}
+		r.Finish(rec, int64(i)*10+5)
+	}
+	if r.Requests() != 100 {
+		t.Fatalf("Requests = %d, want 100", r.Requests())
+	}
+	if r.Sampled() != 25 {
+		t.Fatalf("Sampled = %d, want 25", r.Sampled())
+	}
+	d := r.Dump("rig")
+	for i, rec := range d.Samples {
+		if want := uint64((i + 1) * 4); rec.Seq != want {
+			t.Fatalf("sample %d has seq %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestMaxSamplesCap(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 1, MaxSamples: 10})
+	for i := 0; i < 25; i++ {
+		finishRec(r, int64(i)*10, 5)
+	}
+	if r.Sampled() != 10 {
+		t.Fatalf("Sampled = %d, want the cap of 10", r.Sampled())
+	}
+	if r.Overflow() != 15 {
+		t.Fatalf("Overflow = %d, want 15", r.Overflow())
+	}
+}
+
+func TestWorstKRetainsSlowest(t *testing.T) {
+	r := NewRecorder(Config{WorstK: 3})
+	lats := []int64{50, 900, 20, 700, 800, 30, 600, 10}
+	for i, lat := range lats {
+		finishRec(r, int64(i)*10000, lat)
+	}
+	d := r.Dump("rig")
+	if len(d.Worst) != 3 {
+		t.Fatalf("worst set has %d records, want 3", len(d.Worst))
+	}
+	for i, want := range []int64{900, 800, 700} {
+		if got := d.Worst[i].E2E(); got != want {
+			t.Fatalf("worst[%d] e2e = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWorstKTieKeepsFirstSeen(t *testing.T) {
+	r := NewRecorder(Config{WorstK: 2})
+	for i := 0; i < 5; i++ {
+		finishRec(r, int64(i)*1000, 400) // all identical latency
+	}
+	d := r.Dump("rig")
+	if len(d.Worst) != 2 {
+		t.Fatalf("worst set has %d records, want 2", len(d.Worst))
+	}
+	// Equal latencies: retention is first-seen, ordered by ascending seq.
+	if d.Worst[0].Seq != 1 || d.Worst[1].Seq != 2 {
+		t.Fatalf("tie retention kept seqs %d,%d; want 1,2", d.Worst[0].Seq, d.Worst[1].Seq)
+	}
+}
+
+func TestSampledAndWorstAreIndependentCopies(t *testing.T) {
+	// A sampled record that is also among the worst must appear in both sets,
+	// and the worst-set copy must not alias the sample (eviction recycles
+	// worst-set records back into the pool, which would corrupt the sample).
+	r := NewRecorder(Config{SampleEvery: 1, WorstK: 1})
+	rec := finishRec(r, 0, 500)
+	d := r.Dump("rig")
+	if len(d.Samples) != 1 || len(d.Worst) != 1 {
+		t.Fatalf("got %d samples, %d worst; want 1, 1", len(d.Samples), len(d.Worst))
+	}
+	if d.Samples[0] == d.Worst[0] {
+		t.Fatal("worst-set record aliases the sampled record")
+	}
+	if d.Samples[0] != rec {
+		t.Fatal("sample is not the original carrier")
+	}
+	if d.Samples[0].E2E() != d.Worst[0].E2E() || d.Samples[0].Seq != d.Worst[0].Seq {
+		t.Fatal("worst-set clone diverged from the sample")
+	}
+	// Evict the worst-set clone with a slower request: the sample survives.
+	finishRec(r, 10000, 900)
+	if got := r.Dump("rig").Samples[0].E2E(); got != 500 {
+		t.Fatalf("sample corrupted after worst-set eviction: e2e %d, want 500", got)
+	}
+}
+
+func TestCarrierPoolingSteadyState(t *testing.T) {
+	r := NewRecorder(Config{WorstK: 1})
+	// Fill the heap, then run many faster requests: each gets a pooled
+	// carrier and returns it, so the free list stops growing and no record
+	// leaks. Capture a recycled carrier and check it is reused.
+	finishRec(r, 0, 1000)
+	first := r.Start(false, 10)
+	r.Finish(first, 20) // e2e 10 — recycled immediately
+	second := r.Start(false, 30)
+	if second != first {
+		t.Fatal("recycled carrier was not reused")
+	}
+	if second.Seq != 3 || second.Has(PtDoorbell) {
+		t.Fatalf("reused carrier kept stale state: %+v", second)
+	}
+	r.Finish(second, 40)
+}
+
+func TestDropCountsAndRecycles(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 1, WorstK: 4})
+	rec := r.Start(false, 0)
+	r.Drop(rec)
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped())
+	}
+	if r.Sampled() != 0 || r.WorstLen() != 0 {
+		t.Fatal("dropped carrier was retained")
+	}
+	if again := r.Start(false, 10); again != rec {
+		t.Fatal("dropped carrier was not recycled")
+	}
+}
+
+func TestAddWaitSemantics(t *testing.T) {
+	var rec Rec
+	// Sequential buckets accumulate.
+	rec.AddWait(WaitHostQ, 5)
+	rec.AddWait(WaitHostQ, 7)
+	if rec.Waits[WaitHostQ] != 12 {
+		t.Fatalf("host-q wait = %d, want 12", rec.Waits[WaitHostQ])
+	}
+	// Die waits keep the max across parallel stripes.
+	rec.AddWait(WaitDie, 30)
+	rec.AddWait(WaitDie, 10)
+	rec.AddWait(WaitDie, 50)
+	if rec.Waits[WaitDie] != 50 {
+		t.Fatalf("die wait = %d, want 50", rec.Waits[WaitDie])
+	}
+	// Zero and negative deltas are ignored.
+	rec.AddWait(WaitQoS, 0)
+	rec.AddWait(WaitQoS, -4)
+	if rec.Waits[WaitQoS] != 0 {
+		t.Fatalf("qos wait = %d, want 0", rec.Waits[WaitQoS])
+	}
+}
+
+func TestStagesFullPath(t *testing.T) {
+	var rec Rec
+	rec.Mark(PtStart, 100)
+	rec.Mark(PtDoorbell, 110)
+	rec.Mark(PtDispatch, 130)
+	rec.Mark(PtMapped, 140)
+	rec.Mark(PtNandStart, 150)
+	rec.Mark(PtNandEnd, 180)
+	rec.Mark(PtDmaStart, 180)
+	rec.Mark(PtDmaEnd, 190)
+	rec.Mark(PtBackendDone, 195)
+	rec.Mark(PtCQE, 200)
+	rec.Mark(PtFinish, 205)
+	got := rec.Stages(nil)
+	want := []StageSpan{
+		{"submit", CompHost, 100, 110, false},
+		{"frontend", CompEngine, 110, 130, false},
+		{"map+qos", CompEngine, 130, 140, false},
+		{"backend", CompEngine, 140, 195, false},
+		{"complete", CompEngine, 195, 200, false},
+		{"nand", CompDevice, 150, 180, true},
+		{"dma", CompDevice, 180, 190, true},
+		{"reap", CompHost, 200, 205, false},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d stages, want %d: %+v", len(got), len(want), got)
+	}
+	var prev int64 = 100
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stage %d = %+v, want %+v", i, got[i], want[i])
+		}
+		// The partition stages tile [start, finish] with no gaps.
+		if !got[i].Sub {
+			if got[i].From != prev {
+				t.Fatalf("partition gap before %s: from %d, want %d", got[i].Name, got[i].From, prev)
+			}
+			prev = got[i].To
+		}
+	}
+	if prev != 205 {
+		t.Fatalf("partition ends at %d, want finish 205", prev)
+	}
+}
+
+func TestStagesDirectDevicePath(t *testing.T) {
+	// No engine dispatch (native / direct-attach schemes): the span between
+	// doorbell and CQE collapses to a single device stage.
+	var rec Rec
+	rec.Mark(PtStart, 0)
+	rec.Mark(PtDoorbell, 10)
+	rec.Mark(PtCQE, 90)
+	rec.Mark(PtFinish, 100)
+	got := rec.Stages(nil)
+	if len(got) != 3 || got[1].Name != "device" || got[1].Comp != CompDevice {
+		t.Fatalf("direct path stages = %+v", got)
+	}
+}
+
+func TestStagesIncompleteRecord(t *testing.T) {
+	var rec Rec
+	rec.Mark(PtStart, 0)
+	rec.Mark(PtFinish, 10) // no doorbell, no CQE
+	if got := rec.Stages(nil); len(got) != 0 {
+		t.Fatalf("incomplete record yielded stages: %+v", got)
+	}
+}

@@ -99,10 +99,17 @@ func (e *Env) SetFastPath(on bool) { e.fastOK = on }
 
 // FastPath reports whether data-path components may use their fused
 // callback-chain fast path instead of spawning a process per command. It is
-// true only when no tracer and no fault injector are attached: the fast
-// path is hop-for-hop timing-identical to the classic path but emits no
+// false only when a tracer or a fault injector is attached: the fast path
+// is hop-for-hop timing-identical to the classic path but emits no
 // spawn/resume trace records, so traced (digest) runs and faulted runs take
 // the classic path and stay byte-identical to their committed artifacts.
+//
+// A metrics registry — including sampled request timelines and worst-K tail
+// forensics (obs.Options.Timeline) — deliberately does NOT gate the fast
+// path: observation is passive (never schedules events), both paths carry
+// the same instrumentation points, and the always-on telemetry contract is
+// that we can observe the exact configuration we benchmark. The A/B
+// equivalence tests in fastpath_metrics_ab_test.go pin this down.
 func (e *Env) FastPath() bool { return e.fastOK && e.tracer == nil && e.faults == nil }
 
 // Events returns the number of queue entries fired so far — the kernel-level

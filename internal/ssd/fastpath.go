@@ -28,6 +28,7 @@ import (
 
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/sim"
 )
 
@@ -135,6 +136,7 @@ type nandStripe struct {
 	d   *SSD
 	io  *ssdIO
 	lat sim.Time
+	t0  sim.Time // acquire-start timestamp for die-wait attribution
 
 	startFn func()
 	acqFn   func(any)
@@ -156,9 +158,19 @@ func (d *SSD) getStripe(io *ssdIO, lat sim.Time) *nandStripe {
 	return s
 }
 
-func (s *nandStripe) start() { s.d.dies.AcquireCB(s.acqFn) }
+func (s *nandStripe) start() {
+	s.t0 = s.d.env.Now()
+	s.d.dies.AcquireCB(s.acqFn)
+}
 
-func (s *nandStripe) acquired(any) { s.d.after(s.lat, s.doneFn) }
+func (s *nandStripe) acquired(any) {
+	if a := s.io.alias; a != 0 {
+		// Same value the classic stripe process measures: elapsed around
+		// dies.Use minus the service time, i.e. pure queueing for the die.
+		s.d.met.SpanWaitDev(a, timeline.WaitDie, int64(s.d.env.Now()-s.t0))
+	}
+	s.d.after(s.lat, s.doneFn)
+}
 
 // done releases the die, then — only when this is the last outstanding
 // stripe — schedules the parent continuation at zero delay, mirroring the
@@ -192,6 +204,8 @@ type ssdIO struct {
 	mt0     sim.Time // write-path media phase start
 	lat     sim.Time // single-stripe NAND latency
 	media   sim.Time
+	acq0    sim.Time // single-stripe die-acquire start (die-wait attribution)
+	alias   uint64   // device-domain span alias; zero when timeline is off
 
 	remaining int // outstanding parallel NAND stripes
 
@@ -329,6 +343,10 @@ func (io *ssdIO) walkAttempt() {
 	}
 	io.segs = segs
 	io.t0 = d.env.Now()
+	io.alias = 0
+	if d.tl {
+		io.alias = obs.DevKey(d.cfg.Serial, io.sq.id, io.cmd.CID)
+	}
 	if io.cmd.Opcode == nvme.IORead {
 		io.startRead()
 	} else {
@@ -345,6 +363,7 @@ func (io *ssdIO) startRead() {
 		// Jitter draws at the classic argument-evaluation position, before
 		// the die acquire.
 		io.lat = d.jitter(d.cfg.NANDReadLatency)
+		io.acq0 = d.env.Now()
 		d.dies.AcquireCB(io.dieAcqFn)
 		return
 	}
@@ -358,7 +377,12 @@ func (io *ssdIO) startRead() {
 	}
 }
 
-func (io *ssdIO) dieAcquired(any) { io.d.after(io.lat, io.dieDoneFn) }
+func (io *ssdIO) dieAcquired(any) {
+	if io.alias != 0 {
+		io.d.met.SpanWaitDev(io.alias, timeline.WaitDie, int64(io.d.env.Now()-io.acq0))
+	}
+	io.d.after(io.lat, io.dieDoneFn)
+}
 
 func (io *ssdIO) dieDone() {
 	io.d.dies.Release()
@@ -424,6 +448,12 @@ func (io *ssdIO) startWrite() {
 func (io *ssdIO) writeFetched() {
 	d := io.d
 	io.mt0 = d.env.Now()
+	if io.alias != 0 {
+		// The pacer's backlog is the queueing delay this write will see
+		// behind earlier writes' program time — the write-side analog of
+		// read die-queue wait. Read before Reserve, as in the classic path.
+		d.met.SpanWaitDev(io.alias, timeline.WaitDie, int64(d.writePacer.Backlog()))
+	}
 	done := d.writePacer.Reserve(int64(io.n))
 	d.after(done-d.env.Now(), io.writePacedFn)
 }
@@ -477,6 +507,16 @@ func (io *ssdIO) finishMedia() {
 	if d.met != nil && io.media > 0 {
 		d.mMedia.Record(int64(io.media))
 		d.met.SpanMedia(obs.DevKey(d.cfg.Serial, io.sq.id, io.cmd.CID), int64(io.media))
+		if io.alias != 0 {
+			// Phase intervals derived from (t0, media, now), mirroring the
+			// classic execIO attribution point exactly.
+			now, m := int64(d.env.Now()), int64(io.media)
+			if io.cmd.Opcode == nvme.IORead {
+				d.met.SpanPhases(io.alias, int64(io.t0), int64(io.t0)+m, int64(io.t0)+m, now)
+			} else {
+				d.met.SpanPhases(io.alias, now-m, now, int64(io.t0), now-m)
+			}
+		}
 	}
 	io.finish(nvme.StatusSuccess)
 }

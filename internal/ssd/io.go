@@ -6,6 +6,7 @@ import (
 	"bmstore/internal/fault"
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/sim"
 )
 
@@ -58,6 +59,12 @@ func (d *SSD) execIO(p *sim.Proc, sqID uint16, cmd nvme.Command) nvme.Status {
 		return nvme.StatusInvalidField
 	}
 	start := p.Now()
+	// Device-domain alias for timeline attribution (die waits, NAND/DMA
+	// phase intervals); zero when timeline recording is off.
+	var alias uint64
+	if d.tl {
+		alias = obs.DevKey(d.cfg.Serial, sqID, cmd.CID)
+	}
 	devByte := (ns.startLBA + slba) * BlockSize
 	if d.tr != nil {
 		d.tr.Emit(start, "ssd", "issue", uint64(cmd.Opcode)<<56|devByte, uint64(n), d.cfg.Serial)
@@ -110,12 +117,12 @@ func (d *SSD) execIO(p *sim.Proc, sqID uint16, cmd nvme.Command) nvme.Status {
 	}
 	var media sim.Time
 	if cmd.Opcode == nvme.IORead {
-		media = d.doRead(p, devByte, segs, n, hzd)
+		media = d.doRead(p, devByte, segs, n, hzd, alias)
 		d.ReadStats.Record(n, p.Now()-start)
 		d.mReadOps.Inc()
 		d.mReadBytes.AddAt(int64(p.Now()), uint64(n))
 	} else {
-		media = d.doWrite(p, devByte, segs, n, hzd.torn)
+		media = d.doWrite(p, devByte, segs, n, hzd.torn, alias)
 		d.WriteStats.Record(n, p.Now()-start)
 		d.mWriteOps.Inc()
 		d.mWriteBytes.AddAt(int64(p.Now()), uint64(n))
@@ -123,6 +130,17 @@ func (d *SSD) execIO(p *sim.Proc, sqID uint16, cmd nvme.Command) nvme.Status {
 	if d.met != nil && media > 0 {
 		d.mMedia.Record(int64(media))
 		d.met.SpanMedia(obs.DevKey(d.cfg.Serial, sqID, cmd.CID), int64(media))
+		if alias != 0 {
+			// Phase intervals derived from (start, media, now): a read's
+			// media phase leads and its upstream DMA follows; a write
+			// fetches over DMA first and its media phase trails.
+			now, m := int64(p.Now()), int64(media)
+			if cmd.Opcode == nvme.IORead {
+				d.met.SpanPhases(alias, int64(start), int64(start)+m, int64(start)+m, now)
+			} else {
+				d.met.SpanPhases(alias, now-m, now, int64(start), now-m)
+			}
+		}
 	}
 	if d.tr != nil {
 		d.tr.Emit(p.Now(), "ssd", "complete", uint64(cmd.Opcode)<<56|devByte, uint64(p.Now()-start), d.cfg.Serial)
@@ -133,7 +151,7 @@ func (d *SSD) execIO(p *sim.Proc, sqID uint16, cmd nvme.Command) nvme.Status {
 // doRead performs the media read and DMA-writes the data upstream. It
 // returns the media phase's duration (NAND array + internal read bus, or the
 // pluggable medium's service time) for span attribution.
-func (d *SSD) doRead(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int, hzd hazards) sim.Time {
+func (d *SSD) doRead(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int, hzd hazards, alias uint64) sim.Time {
 	// A misdirected read serves the neighbouring block's bytes (an FTL
 	// mapping slip): only the data source shifts — timing, stats, and the
 	// completion status all describe the block that was asked for.
@@ -150,14 +168,24 @@ func (d *SSD) doRead(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int, hz
 	}
 	stripes := (n + d.cfg.StripeBytes - 1) / d.cfg.StripeBytes
 	if stripes == 1 {
-		d.dies.Use(p, d.jitter(d.cfg.NANDReadLatency), nil)
+		lat := d.jitter(d.cfg.NANDReadLatency)
+		ta := p.Now()
+		d.dies.Use(p, lat, nil)
+		if alias != 0 {
+			// Time spent queued for the die: elapsed minus the service time.
+			d.met.SpanWaitDev(alias, timeline.WaitDie, int64(p.Now()-ta-lat))
+		}
 	} else {
 		// Stripes read in parallel across the die pool; wait for all.
 		done := make([]*sim.Event, stripes)
 		for i := 0; i < stripes; i++ {
 			lat := d.jitter(d.cfg.NANDReadLatency)
 			proc := d.env.Go("ssd/nand", func(sp *sim.Proc) {
+				ta := sp.Now()
 				d.dies.Use(sp, lat, nil)
+				if alias != 0 {
+					d.met.SpanWaitDev(alias, timeline.WaitDie, int64(sp.Now()-ta-lat))
+				}
 			})
 			done[i] = proc.Done()
 		}
@@ -203,7 +231,7 @@ func (d *SSD) dmaOut(p *sim.Proc, devByte uint64, segs []nvme.Segment, corrupt b
 // doWrite fetches the data from upstream and admits it to the write cache.
 // It returns the media phase's duration (cache admission behind the DMA
 // fetch) for span attribution.
-func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int, torn bool) sim.Time {
+func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int, torn bool, alias uint64) sim.Time {
 	var last sim.Time
 	bufs := make([][]byte, len(segs))
 	for i, seg := range segs {
@@ -224,6 +252,12 @@ func (d *SSD) doWrite(p *sim.Proc, devByte uint64, segs []nvme.Segment, n int, t
 	} else {
 		// Sustained-write admission: the pacer models the flash program
 		// rate behind the cache, which bounds write bandwidth and IOPS.
+		if alias != 0 {
+			// The pacer's backlog is the queueing delay this write will
+			// see behind earlier writes' program time — the write-side
+			// analog of read die-queue wait.
+			d.met.SpanWaitDev(alias, timeline.WaitDie, int64(d.writePacer.Backlog()))
+		}
 		d.writePacer.Transfer(p, int64(n))
 		p.Sleep(d.jitter(d.cfg.WriteCacheLatency))
 	}

@@ -200,6 +200,7 @@ type SSD struct {
 	// Per-device instruments, cached at construction; all nil-safe no-ops
 	// when the environment has no metrics registry.
 	met         *obs.Registry
+	tl          bool // timeline recording on (cached from the registry)
 	mMedia      *obs.Hist
 	mReadOps    *obs.Counter
 	mWriteOps   *obs.Counter
@@ -231,6 +232,7 @@ func New(env *sim.Env, cfg Config) *SSD {
 		fast:       env.FastPath() && cfg.Media == nil,
 	}
 	if d.met = env.Metrics(); d.met != nil {
+		d.tl = d.met.TimelineEnabled()
 		comp := d.met.Component("ssd/" + cfg.Serial)
 		d.mMedia = comp.Hist("media_ns")
 		d.mReadOps = comp.Counter("read_ops")

@@ -2,7 +2,8 @@
 # Alloc-regression gate for the simulation hot paths.
 #
 # Runs the kernel scheduler throughput benchmarks (internal/sim) and the
-# end-to-end I/O path benchmark (BenchmarkIOPathThroughput, root package)
+# end-to-end I/O path benchmarks (BenchmarkIOPathThroughput and its
+# sampled-timeline variant BenchmarkIOPathSampledTimeline, root package)
 # with -benchmem and compares each benchmark's allocs/op against the
 # committed baseline in scripts/bench_allocs_baseline.txt. The kernel
 # free-lists events, the fused data path pools every per-command carrier,
@@ -21,7 +22,7 @@ cd "$(dirname "$0")/.."
 baseline=scripts/bench_allocs_baseline.txt
 out=$(go test -run '^$' -bench 'Throughput$' -benchtime=100x -benchmem ./internal/sim/)
 out+=$'\n'
-out+=$(go test -run '^$' -bench '^BenchmarkIOPathThroughput$' -benchtime=1000x -benchmem .)
+out+=$(go test -run '^$' -bench '^BenchmarkIOPath(Throughput|SampledTimeline)$' -benchtime=1000x -benchmem .)
 echo "$out"
 
 status=0
