@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke timeline-smoke bench-smoke bench-gate bench-json bench-baseline profile-sweep flaky figures-gate goldens
+.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke timeline-smoke fleet-smoke bench-smoke bench-gate bench-json bench-baseline profile-sweep flaky figures-gate goldens
 
 all: build test
 
@@ -65,6 +65,13 @@ chaos-smoke:
 # viewer (`bmsctl timeline`) to the same tail-attribution summary.
 timeline-smoke:
 	bash scripts/timeline_smoke.sh
+
+# Fleet-simulator smoke: a small rolling hot-upgrade fleet must PASS the
+# health gate with zero tenant I/O errors, report byte-identically between
+# serial and parallel execution, match the committed fleet digest
+# (goldens/fleet_smoke.digest), and round-trip through `bmsctl fleet`.
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
 
 # One iteration of every benchmark — catches bit-rot in benchmark code and
 # gives a cheap overhead spot-check without a full measurement run.

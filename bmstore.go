@@ -26,6 +26,7 @@ import (
 	"bmstore/internal/fault"
 	"bmstore/internal/host"
 	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
 	"bmstore/internal/pcie"
 	"bmstore/internal/sim"
 	"bmstore/internal/ssd"
@@ -54,6 +55,9 @@ type Config struct {
 	// on rigs with no tracer or fault injector. The event-fused fast path is
 	// timing-neutral by construction (see DESIGN.md §11), so this exists for
 	// A/B verification and debugging, not correctness.
+	//
+	// Deprecated: pass WithClassicPath() to the testbed constructor instead.
+	// The field keeps delegating for one release and will then be removed.
 	DisableFastPath bool
 
 	Engine     engine.Config
@@ -69,6 +73,9 @@ type Config struct {
 	// before any component is built: the scheduler and every instrumented
 	// subsystem stream their events into it, yielding a run digest (and
 	// optionally a human-readable dump). Leave nil for zero-cost runs.
+	//
+	// Deprecated: pass WithTrace(tr) to the testbed constructor instead.
+	// The field keeps delegating for one release and will then be removed.
 	Tracer *trace.Tracer
 
 	// Metrics, when non-nil, is attached to the simulation environment
@@ -78,7 +85,18 @@ type Config struct {
 	// the tracer, metrics are per rig — no process-wide globals — and nil
 	// means zero overhead. Metrics are passive observers: attaching a
 	// registry never changes simulated behaviour or trace digests.
+	//
+	// Deprecated: pass WithMetrics(r) to the testbed constructor instead.
+	// The field keeps delegating for one release and will then be removed.
 	Metrics *obs.Registry
+
+	// Timeline enables sampled request-timeline recording and worst-K tail
+	// forensics (see internal/obs/timeline), set via WithTimeline. When no
+	// Metrics registry is supplied, the constructor builds one carrying the
+	// recorder (reachable via Testbed.Metrics()); when one is supplied it
+	// must itself have been built with timeline recording, or Validate
+	// rejects the configuration instead of silently recording nothing.
+	Timeline timeline.Config
 
 	// Faults is the declarative fault schedule of the rig (see
 	// internal/fault). A per-rig injector is built from these rules and
@@ -88,6 +106,10 @@ type Config struct {
 	// its own injector state), which keeps determinism sweeps and parallel
 	// runs independent. Empty means no injection and zero overhead. The
 	// live injector is reachable afterwards via tb.Env.Faults().
+	//
+	// Deprecated: pass WithFaults(rules...) to the testbed constructor
+	// instead. The field keeps delegating for one release and will then be
+	// removed.
 	Faults []fault.Rule
 }
 
@@ -108,6 +130,9 @@ func (c *Config) Validate() error {
 	}
 	if fault.HasDataHazards(c.Faults) && !c.CaptureData {
 		return fmt.Errorf("bmstore: fault schedule contains data-hazard rules (media-corrupt/torn-write/misdirected-read) but Config.CaptureData is off — no payload bytes exist to damage or verify, so the rules would be inert; set CaptureData: true")
+	}
+	if c.Timeline != (timeline.Config{}) && c.Metrics != nil && c.Metrics.Timeline() == nil {
+		return fmt.Errorf("bmstore: WithTimeline combined with a metrics registry that records no timelines — build the registry with obs.Options.Timeline, or drop WithMetrics and let the constructor build one")
 	}
 	return nil
 }
@@ -163,8 +188,16 @@ func (c *Config) ssdConfig(env *sim.Env, i int) ssd.Config {
 // newEnv builds the simulation environment shared by both testbed
 // constructors: the observers (tracer, metrics, fault injector) must be
 // attached before any component is constructed, because components cache
-// those pointers at build time.
-func newEnv(cfg Config) *sim.Env {
+// those pointers at build time. It takes the config by pointer because
+// WithTimeline without WithMetrics materialises the timeline-carrying
+// registry here, and the testbed must remember it for Metrics().
+func newEnv(cfg *Config) *sim.Env {
+	if cfg.Timeline != (timeline.Config{}) && cfg.Metrics == nil {
+		cfg.Metrics = obs.New(obs.Options{
+			SeriesInterval: obs.DefaultSeriesInterval,
+			Timeline:       cfg.Timeline,
+		})
+	}
 	env := sim.NewEnv(cfg.Seed)
 	if cfg.Tracer != nil {
 		env.SetTracer(cfg.Tracer)
@@ -193,12 +226,15 @@ func newSSDLink(env *sim.Env, lanes int, name string) *pcie.Link {
 // BMS-Controller and a remote console on the out-of-band path, and runs
 // the engine's backend bring-up to completion. Construction fails if the
 // configuration is invalid or backend bring-up errors (which injected
-// faults can now force).
-func NewBMStoreTestbed(cfg Config) (*Testbed, error) {
+// faults can now force). Observability and fault wiring composes through
+// the variadic options (WithTrace, WithMetrics, WithTimeline, WithFaults,
+// WithClassicPath), applied to a copy of cfg in order.
+func NewBMStoreTestbed(cfg Config, opts ...Option) (*Testbed, error) {
+	cfg = cfg.With(opts...)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	env := newEnv(cfg)
+	env := newEnv(&cfg)
 	h := host.New(env, cfg.MemSize, cfg.Kernel)
 	eng := engine.New(env, cfg.Engine)
 
@@ -237,12 +273,14 @@ func NewBMStoreTestbed(cfg Config) (*Testbed, error) {
 }
 
 // NewDirectTestbed builds host -> SSDs with no BM-Store card: the
-// substrate for the native, VFIO and SPDK vhost baselines.
-func NewDirectTestbed(cfg Config) (*Testbed, error) {
+// substrate for the native, VFIO and SPDK vhost baselines. It accepts the
+// same functional options as NewBMStoreTestbed.
+func NewDirectTestbed(cfg Config, opts ...Option) (*Testbed, error) {
+	cfg = cfg.With(opts...)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	env := newEnv(cfg)
+	env := newEnv(&cfg)
 	h := host.New(env, cfg.MemSize, cfg.Kernel)
 	tb := &Testbed{Env: env, Host: h, cfg: cfg}
 	for i := 0; i < cfg.NumSSDs; i++ {
@@ -254,6 +292,12 @@ func NewDirectTestbed(cfg Config) (*Testbed, error) {
 	}
 	return tb, nil
 }
+
+// Metrics returns the rig's metrics registry: the one supplied via
+// WithMetrics (or the deprecated Config.Metrics field), or the registry the
+// constructor built to carry WithTimeline's recorder. Nil when the rig runs
+// without metrics.
+func (tb *Testbed) Metrics() *obs.Registry { return tb.cfg.Metrics }
 
 // Run starts fn as a root simulation process, drives the simulation until
 // fn returns (server processes like the controller's monitor keep ticking

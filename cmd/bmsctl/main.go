@@ -33,7 +33,13 @@
 // checks a `bmstore-bench -json` export against the checked-in goldens:
 // exact cell-level drift plus the paper-shape assertions, printed as a
 // report naming each artifact, cell, golden-vs-got value, and violated
-// rule. Exit status 1 means the gate would fail.
+// rule. Exit status 1 means the gate would fail. And
+//
+//	bmsctl fleet <fleet.json>
+//
+// re-renders a `bmstore-bench -fleet -fleet-json` export as the fleet
+// rollout report — per-host health, pause windows, SLO rollup, digests —
+// with exit status 1 when the rollout aborted.
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"bmstore"
 	"bmstore/internal/experiments"
 	"bmstore/internal/fidelity"
+	"bmstore/internal/fleet"
 	"bmstore/internal/obs"
 	"bmstore/internal/obs/timeline"
 	"bmstore/internal/sim"
@@ -68,6 +75,17 @@ func main() {
 	if args := flag.Args(); len(args) > 0 && args[0] == "timeline" {
 		if err := runTimeline(args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if args := flag.Args(); len(args) > 0 && args[0] == "fleet" {
+		ok, err := runFleetView(args[1:])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -241,6 +259,29 @@ func run(tb *bmstore.Testbed, p *sim.Proc, f []string) error {
 		return fmt.Errorf("unknown command %q", f[0])
 	}
 	return nil
+}
+
+// runFleetView implements `bmsctl fleet <fleet.json>`: the offline viewer
+// for -fleet-json exports. It re-renders the same deterministic report the
+// fleet run printed — the Result carries every field the report needs, so
+// no simulation runs. Returns ok=false (exit 1) when the rollout aborted.
+func runFleetView(args []string) (bool, error) {
+	if len(args) != 1 {
+		return false, fmt.Errorf("usage: bmsctl fleet <fleet.json>")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	r, err := fleet.Load(f)
+	if err != nil {
+		return false, fmt.Errorf("%s: %v", args[0], err)
+	}
+	if err := r.WriteReport(os.Stdout); err != nil {
+		return false, err
+	}
+	return r.Passed(), nil
 }
 
 // runFidelityDiff implements `bmsctl fidelity-diff <goldens-dir>

@@ -5,6 +5,8 @@
 //
 //	bmstore-bench [-scale fast|full] [-parallel N] [-only fig8,fig11,...] [-list]
 //	              [-json out.json] [-check goldens/] [-write-goldens goldens/]
+//	bmstore-bench -fleet 64 [-fleet-wave 4] [-fleet-seed 1] [-fleet-json out.json]
+//	bmstore-bench -fleet 64 -fleet-seed 1 -fleet-host 10
 //
 // Independent rigs (each fio cell, each seed, each VM-count point) fan out
 // on a bounded worker pool; -parallel 1 and -parallel N produce
@@ -18,6 +20,17 @@
 // assertions) against checked-in goldens and exits nonzero on any drift or
 // shape violation, and -write-goldens blesses the current numbers — after
 // the shape layer confirms they still support the paper's claims.
+//
+// -fleet N switches to the fleet deployment simulator: N independent
+// BM-Store hosts with seeded tenant placements, rolled through a firmware
+// hot-upgrade in -fleet-wave batches with a health gate between waves (see
+// internal/fleet). The report is byte-identical for any -parallel value;
+// exit status 1 means a wave tripped the gate. -fleet-host K replays one
+// host alone — the reproducer a gate failure points at.
+//
+// The observability and fault flags (-trace, -metrics, -timeline, -faults,
+// -chaos, ...) are the shared run-option surface of internal/cli, identical
+// across fiosim, bmstore-bench and the fleet simulator.
 package main
 
 import (
@@ -27,37 +40,47 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"time"
 
+	"bmstore/internal/cli"
 	"bmstore/internal/experiments"
 	"bmstore/internal/fidelity"
-	"bmstore/internal/obs"
+	"bmstore/internal/fleet"
 	"bmstore/internal/obs/timeline"
-	"bmstore/internal/trace"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain is main with an exit code, so deferred cleanup (profiles, the
+// trace dump) runs before the process exits.
+func realMain() int {
 	scale := flag.String("scale", "fast", "run scale: fast or full")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent rigs (1 = serial)")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	traceOut := flag.String("trace", "", "write a human-readable event trace to this file (- for stderr)")
-	traceDigest := flag.Bool("trace-digest", false, "compute and print a determinism digest over all runs")
-	metricsOn := flag.Bool("metrics", false, "collect metrics and print the per-component summary")
-	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, otherwise JSON; - for stdout)")
-	breakdown := flag.Bool("breakdown", false, "print the per-stage request latency breakdown table")
 	jsonOut := flag.String("json", "", "write structured Result records as deterministic JSON to this file (- for stdout)")
 	checkDir := flag.String("check", "", "compare results against the goldens in this directory and exit nonzero on drift or shape violation")
 	writeGoldens := flag.String("write-goldens", "", "bless the current results as goldens in this directory (refused if they violate the paper shape)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
-	classic := flag.Bool("classic", false, "force the classic process-per-command data path (A/B baseline; output is identical, only wall-clock changes)")
-	timelineOn := flag.Bool("timeline", false, "record sampled request timelines + worst-K tail forensics and print the tail-attribution summary (to stderr; stdout tables are unchanged)")
-	timelineOut := flag.String("timeline-out", "", "write recorded timelines as Chrome/Perfetto trace-event JSON to this file (- for stdout; implies recording)")
-	sampleEvery := flag.Int("sample", 64, "timeline sampling rate: keep every Nth request (with -timeline)")
-	slowestK := flag.Int("slowest", 16, "retain the K slowest requests' complete timelines (with -timeline)")
+	fleetN := flag.Int("fleet", 0, "run the fleet deployment simulator over this many hosts instead of the evaluation sweep (0 = off)")
+	fleetWave := flag.Int("fleet-wave", 4, "hosts hot-upgraded per rolling wave (with -fleet)")
+	fleetSeed := flag.Int64("fleet-seed", 1, "fleet seed; host i simulates with seed+i (with -fleet)")
+	fleetHost := flag.Int("fleet-host", -1, "replay this single host of the fleet instead of the whole rollout (with -fleet)")
+	fleetSSDs := flag.Int("fleet-ssds", 1, "backend SSDs per host, each hot-upgraded in turn (with -fleet)")
+	fleetJSON := flag.String("fleet-json", "", "write the fleet result as JSON to this file for offline inspection with 'bmsctl fleet' (- for stdout)")
+	var ropts cli.RunOptions
+	ropts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := ropts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if ropts.Chaos != "" {
+		start := time.Now()
+		return cli.RunChaos(ropts.Chaos, ropts.Parallel, os.Stdout, os.Stderr,
+			func() float64 { return time.Since(start).Seconds() })
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -67,78 +90,79 @@ func main() {
 		sc = experiments.Full()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Name)
 		}
-		return
+		return 0
 	}
 	// An unknown -only id is an error, not a silent no-op sweep.
 	sel, err := experiments.Select(*only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
 
-	// Each rig gets a private child tracer from the Set; the combined digest
-	// folds per-rig digests in sorted-name order, so it is identical no
-	// matter how many workers executed the sweep. Dumps buffer per rig and
-	// are flushed grouped by rig name, so they too are order-independent.
-	var dump *os.File
-	if *traceOut != "" {
-		switch *traceOut {
-		case "-":
-			dump = os.Stderr
-		default:
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			dump = f
-		}
+	// The shared wiring: per-rig trace and metrics families, parsed fault
+	// schedule, trace dump destination. Every rig — sweep cell or fleet
+	// host — is configured through Run's bmstore.Option slices; nothing
+	// below writes the deprecated Config observability fields.
+	run, err := ropts.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
-	var traces *trace.Set
-	if dump != nil || *traceDigest {
-		var opts trace.Options
-		if dump != nil {
-			opts.Dump = dump // destination flag; children buffer privately
-		}
-		traces = trace.NewSet(opts)
+	defer run.Close()
+
+	exitCode := 0
+	if *fleetN > 0 {
+		exitCode = runFleet(run, sc, *fleetN, *fleetWave, *fleetSSDs, *fleetSeed, *fleetHost, *fleetJSON)
+	} else {
+		exitCode = runSweep(run, sc, sel, *only, *jsonOut, *checkDir, *writeGoldens)
 	}
 
-	// Metrics mirror the tracer structure: a Set hands every rig a private
-	// child registry and exports in sorted-name order, so -parallel never
-	// changes the snapshot bytes.
-	tlOn := *timelineOn || *timelineOut != ""
-	var mset *obs.Set
-	if *metricsOn || *metricsOut != "" || *breakdown || tlOn {
-		opts := obs.Options{SeriesInterval: obs.DefaultSeriesInterval}
-		if tlOn {
-			opts.Timeline = timeline.Config{SampleEvery: *sampleEvery, WorstK: *slowestK}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
-		mset = obs.NewSet(opts)
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		f.Close()
 	}
+	return exitCode
+}
 
-	h := experiments.NewHarness(sc, *parallel, traces).WithMetrics(mset).WithClassicPath(*classic)
+// runSweep executes the paper-evaluation sweep: the selected experiments on
+// a harness carrying the shared run wiring, then the observability exports
+// and the fidelity gate. Returns the process exit code.
+func runSweep(run *cli.Run, sc experiments.Scale, sel []experiments.Experiment, only, jsonOut, checkDir, writeGoldens string) int {
+	h := experiments.NewHarness(sc, run.Opts.Parallel, run.Traces).
+		WithMetrics(run.Metrics).
+		WithFaults(run.Rules).
+		WithClassicPath(run.Opts.Classic)
 
 	fmt.Printf("BM-Store evaluation reproduction (scale=%s)\n\n", sc.Name)
 	sweepStart := time.Now()
@@ -151,73 +175,67 @@ func main() {
 		results = append(results, tab.Result())
 	}
 	fmt.Fprintf(os.Stderr, "sweep    %5.1fs wall (parallel=%d)\n", time.Since(sweepStart).Seconds(), h.Parallelism())
-	if traces != nil {
-		if dump != nil {
-			if err := traces.Flush(dump); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-		fmt.Printf("trace: %d rigs, %d events, digest %s\n", traces.Rigs(), traces.Events(), traces.Digest())
-	}
-	if *breakdown {
-		if err := mset.WriteBreakdown(os.Stdout); err != nil {
+	if run.Traces != nil {
+		if err := run.FlushTrace(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
+		fmt.Printf("trace: %d rigs, %d events, digest %s\n",
+			run.Traces.Rigs(), run.Traces.Events(), run.Traces.Digest())
 	}
-	if *metricsOn {
-		if err := mset.WriteSummary(os.Stdout); err != nil {
+	if run.Opts.Breakdown {
+		if err := run.Metrics.WriteBreakdown(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	if *metricsOut != "" {
-		if err := writeMetrics(mset, *metricsOut); err != nil {
+	if run.Opts.Metrics {
+		if err := run.Metrics.WriteSummary(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	if *timelineOn {
+	if err := run.WriteMetricsOut(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if run.Opts.Timeline {
 		// Stderr, like the fidelity report: stdout must stay byte-identical
 		// to the committed bench_tables.txt whether or not -timeline is on.
-		if err := timeline.WriteSummary(os.Stderr, mset.TimelineDumps()); err != nil {
+		if err := timeline.WriteSummary(os.Stderr, run.Metrics.TimelineDumps()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	if *timelineOut != "" {
-		if err := writeTimeline(mset, *timelineOut); err != nil {
+	if err := run.WriteTimelineOut(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if jsonOut != "" {
+		if err := writeResults(&experiments.ResultSet{Scale: sc.Name, Results: results}, jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	if *jsonOut != "" {
-		if err := writeResults(&experiments.ResultSet{Scale: sc.Name, Results: results}, *jsonOut); err != nil {
+	if writeGoldens != "" {
+		if err := fidelity.WriteGoldens(writeGoldens, sc.Name, results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
+		fmt.Fprintf(os.Stderr, "wrote %d goldens to %s\n", len(results), writeGoldens)
 	}
-	if *writeGoldens != "" {
-		if err := fidelity.WriteGoldens(*writeGoldens, sc.Name, results); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %d goldens to %s\n", len(results), *writeGoldens)
-	}
-	checkFailed := false
-	if *checkDir != "" {
-		goldenScale, goldens, err := fidelity.LoadGoldens(*checkDir)
+	if checkDir != "" {
+		goldenScale, goldens, err := fidelity.LoadGoldens(checkDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if goldenScale != sc.Name {
 			fmt.Fprintf(os.Stderr, "goldens in %s are %q scale; this run is %q — refusing to compare\n",
-				*checkDir, goldenScale, sc.Name)
-			os.Exit(1)
+				checkDir, goldenScale, sc.Name)
+			return 1
 		}
-		if *only != "" {
+		if only != "" {
 			// A partial run is checked against the matching goldens only.
 			// Keyed by artifact id (e.g. "fig8+table5"), not experiment id
 			// ("fig8") — the two differ for the combined tables.
@@ -232,73 +250,117 @@ func main() {
 		// committed bench_tables.txt whether or not -check is on.
 		if err := rep.Write(os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		checkFailed = !rep.OK()
+		if !rep.OK() {
+			return 1
+		}
 	}
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
+	return 0
+}
+
+// runFleet executes the fleet deployment simulator (or a single-host
+// replay) with the shared run wiring. The scale picks the firmware commit
+// window — the device property that dominates the hot-upgrade pause.
+// Returns the process exit code: 1 when a wave trips the health gate.
+func runFleet(run *cli.Run, sc experiments.Scale, hosts, wave, ssds int, seed int64, replayHost int, jsonOut string) int {
+	o := fleet.Options{
+		Hosts:           hosts,
+		WaveSize:        wave,
+		Seed:            seed,
+		SSDsPerHost:     ssds,
+		Parallel:        run.Opts.Parallel,
+		FWCommitMin:     sc.FWCommitMin,
+		FWCommitMax:     sc.FWCommitMax,
+		Faults:          run.Rules,
+		Traces:          run.Traces,
+		Metrics:         run.Metrics,
+		DisableFastPath: run.Opts.Classic,
+	}
+	start := time.Now()
+	if replayHost >= 0 {
+		if replayHost >= hosts {
+			fmt.Fprintf(os.Stderr, "-fleet-host %d out of range: the fleet has hosts 0..%d\n", replayHost, hosts-1)
+			return 2
+		}
+		hr := fleet.RunHost(o, replayHost)
+		fmt.Fprintf(os.Stderr, "(host replay in %.1fs wall)\n", time.Since(start).Seconds())
+		if err := hr.WriteReport(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
+		if err := fleetExports(run); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
+		}
+		if !hr.Healthy {
+			return 1
+		}
+		return 0
+	}
+	r := fleet.Run(o)
+	fmt.Fprintf(os.Stderr, "(fleet of %d in %.1fs wall, parallel=%d)\n",
+		hosts, time.Since(start).Seconds(), run.Opts.Parallel)
+	if err := r.WriteReport(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if jsonOut != "" {
+		if err := writeTo(jsonOut, r.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 	}
-	if checkFailed {
-		os.Exit(1)
+	if err := fleetExports(run); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
+	if !r.Passed() {
+		return 1
+	}
+	return 0
+}
+
+// fleetExports drains the shared observability sinks after a fleet run:
+// buffered trace dumps and the -metrics-out/-timeline-out files. The fleet
+// report itself already carries the digests.
+func fleetExports(run *cli.Run) error {
+	if err := run.FlushTrace(); err != nil {
+		return err
+	}
+	if run.Opts.Metrics && run.Metrics != nil {
+		if err := run.Metrics.WriteSummary(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if err := run.WriteMetricsOut(); err != nil {
+		return err
+	}
+	if run.Opts.Timeline && run.Metrics != nil {
+		if err := timeline.WriteSummary(os.Stderr, run.Metrics.TimelineDumps()); err != nil {
+			return err
+		}
+	}
+	return run.WriteTimelineOut()
 }
 
 // writeResults exports the structured records to path, stdout for "-".
 func writeResults(set *experiments.ResultSet, path string) error {
+	return writeTo(path, set.WriteJSON)
+}
+
+// writeTo runs fn against path, stdout for "-".
+func writeTo(path string, fn func(w io.Writer) error) error {
 	if path == "-" {
-		return set.WriteJSON(os.Stdout)
+		return fn(os.Stdout)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := set.WriteJSON(f); err != nil {
+	if err := fn(f); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
-}
-
-// writeMetrics exports the metrics set to path: CSV when the name ends in
-// .csv, pretty-printed JSON otherwise, stdout for "-".
-func writeMetrics(mset *obs.Set, path string) error {
-	var w io.Writer = os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	if strings.HasSuffix(path, ".csv") {
-		return mset.WriteCSV(w)
-	}
-	return mset.WriteJSON(w)
-}
-
-// writeTimeline exports the recorded timelines as Chrome/Perfetto
-// trace-event JSON to path, stdout for "-".
-func writeTimeline(mset *obs.Set, path string) error {
-	var w io.Writer = os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	return mset.WriteTimeline(w)
 }

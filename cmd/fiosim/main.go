@@ -15,28 +15,25 @@
 // simulations, so -parallel M executes up to M of them concurrently;
 // stdout (results and digests, in seed order) is byte-identical for any M —
 // timing goes to stderr.
+//
+// The observability and fault flags (-trace, -metrics, -timeline, -faults,
+// -chaos, ...) are the shared run-option surface of internal/cli, identical
+// across fiosim, bmstore-bench and the fleet simulator.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
 	"bmstore"
+	"bmstore/internal/cli"
 	"bmstore/internal/experiments"
-	"bmstore/internal/fault"
 	"bmstore/internal/fio"
 	"bmstore/internal/host"
-	"bmstore/internal/obs"
-	"bmstore/internal/obs/timeline"
 	"bmstore/internal/sim"
 	"bmstore/internal/spdkvhost"
-	"bmstore/internal/trace"
 )
 
 func main() {
@@ -50,24 +47,19 @@ func main() {
 	ssds := flag.Int("ssds", 1, "backend SSDs (namespace striped across them for bmstore)")
 	seed := flag.Int64("seed", 42, "simulation seed (first seed with -runs > 1)")
 	runs := flag.Int("runs", 1, "independent rigs, seeded seed..seed+runs-1")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent rigs (1 = serial)")
-	traceOut := flag.String("trace", "", "write a human-readable event trace to this file (- for stdout)")
-	traceDigest := flag.Bool("trace-digest", false, "compute and print each run's determinism digest")
-	traceSHA := flag.Bool("trace-sha256", false, "use SHA-256 for the digest instead of the fast 64-bit digest")
-	faults := flag.String("faults", "", "fault-injection spec, e.g. 'ssd-stall,t=20ms,dur=10ms;media-slow,nth=100,count=-1,dur=2ms' (enables driver timeout/retry recovery)")
-	chaosSpec := flag.String("chaos", "", "run a chaos campaign instead of a workload: 'seed,count' (e.g. '1,20'; count defaults to 1) — seeded fault schedules under a write-then-verify workload, exit 1 on any invariant violation")
-	metricsOn := flag.Bool("metrics", false, "collect metrics and print the per-component summary")
-	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv for CSV, otherwise JSON; - for stdout)")
-	breakdown := flag.Bool("breakdown", false, "print the per-stage request latency breakdown table")
-	timelineOn := flag.Bool("timeline", false, "record sampled request timelines + worst-K tail forensics and print the tail-attribution summary")
-	timelineOut := flag.String("timeline-out", "", "write recorded timelines as Chrome/Perfetto trace-event JSON to this file (- for stdout; implies recording)")
-	sampleEvery := flag.Int("sample", 64, "timeline sampling rate: keep every Nth request (with -timeline)")
-	slowestK := flag.Int("slowest", 16, "retain the K slowest requests' complete timelines (with -timeline)")
-	classic := flag.Bool("classic", false, "force the classic process-per-command data path (A/B baseline; output is identical, only wall-clock changes)")
+	var ropts cli.RunOptions
+	ropts.RegisterFlags(flag.CommandLine)
+	ropts.RegisterTraceSHA256(flag.CommandLine)
 	flag.Parse()
 
-	if *chaosSpec != "" {
-		os.Exit(runChaos(*chaosSpec, *parallel))
+	if err := ropts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if ropts.Chaos != "" {
+		start := time.Now()
+		os.Exit(cli.RunChaos(ropts.Chaos, ropts.Parallel, os.Stdout, os.Stderr,
+			func() float64 { return time.Since(start).Seconds() }))
 	}
 
 	var pat fio.Pattern
@@ -95,65 +87,23 @@ func main() {
 		IODepth: *iodepth, NumJobs: *numjobs,
 		Runtime: sim.Time(runtimeF.Nanoseconds()), Ramp: sim.Time(ramp.Nanoseconds()),
 	}
-	var rules []fault.Rule
-	if *faults != "" {
-		var err error
-		if rules, err = fault.ParseSpec(*faults); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-	}
 
-	var dump *os.File
-	if *traceOut != "" {
-		switch *traceOut {
-		case "-":
-			dump = os.Stdout
-		default:
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			dump = f
-		}
+	run, err := ropts.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	var traces *trace.Set
-	if dump != nil || *traceDigest || *traceSHA {
-		opts := trace.Options{SHA256: *traceSHA}
-		if dump != nil {
-			opts.Dump = dump // destination flag; runs buffer privately
-		}
-		traces = trace.NewSet(opts)
-	}
+	defer run.Close()
 
-	tlOn := *timelineOn || *timelineOut != ""
-	var mset *obs.Set
-	if *metricsOn || *metricsOut != "" || *breakdown || tlOn {
-		opts := obs.Options{SeriesInterval: obs.DefaultSeriesInterval}
-		if tlOn {
-			opts.Timeline = timeline.Config{SampleEvery: *sampleEvery, WorstK: *slowestK}
-		}
-		mset = obs.NewSet(opts)
-	}
-
+	rig := func(i int) string { return fmt.Sprintf("run%04d", i) }
 	results := make([]*fio.Result, *runs)
-	tracers := make([]*trace.Tracer, *runs)
 	injected := make([]uint64, *runs)
 	start := time.Now()
-	experiments.NewPool(*parallel).Each(*runs, func(i int) {
+	experiments.NewPool(ropts.Parallel).Each(*runs, func(i int) {
 		cfg := bmstore.DefaultConfig()
 		cfg.Seed = *seed + int64(i)
 		cfg.NumSSDs = *ssds
-		cfg.Faults = rules
-		cfg.DisableFastPath = *classic
-		if traces != nil {
-			tracers[i] = traces.Tracer(fmt.Sprintf("run%04d", i))
-			cfg.Tracer = tracers[i]
-		}
-		cfg.Metrics = mset.Registry(fmt.Sprintf("run%04d", i))
-		results[i], injected[i] = runOne(cfg, *scheme, *ssds, spec)
+		results[i], injected[i] = runOne(cfg, run.RigOptions(rig(i)), run.DriverConfig(), *scheme, *ssds, spec)
 	})
 	wall := time.Since(start).Seconds()
 
@@ -161,12 +111,12 @@ func main() {
 		*rw, *scheme, *ssds, *bs, *iodepth, *numjobs)
 	if *runs == 1 {
 		printResult(results[0])
-		if *faults != "" {
+		if ropts.Faults != "" {
 			fmt.Printf("  faults    : %d injected\n", injected[0])
 		}
 		fmt.Fprintf(os.Stderr, "(simulated %v in %.1fs wall)\n", *runtimeF, wall)
-		if tracers[0] != nil {
-			fmt.Printf("  trace     : %d events, digest %s\n", tracers[0].Events(), tracers[0].Digest())
+		if tr := run.Tracer(rig(0)); tr != nil {
+			fmt.Printf("  trace     : %d events, digest %s\n", tr.Events(), tr.Digest())
 		}
 	} else {
 		var sum, min, max float64
@@ -181,15 +131,15 @@ func main() {
 			}
 			line := fmt.Sprintf("  run %-3d seed %-6d: %8.0f IOPS  %8.1f MB/s  %6.1f us",
 				i, *seed+int64(i), iops, res.BandwidthMBs(), res.AvgLatencyUS())
-			if tracers[i] != nil {
-				line += "  " + tracers[i].Digest()
+			if tr := run.Tracer(rig(i)); tr != nil {
+				line += "  " + tr.Digest()
 			}
 			fmt.Println(line)
 		}
 		mean := sum / float64(*runs)
 		fmt.Printf("  IOPS mean : %.0f  (min %.0f, max %.0f, spread %.1f%%)\n",
 			mean, min, max, (max-min)/mean*100)
-		if *faults != "" {
+		if ropts.Faults != "" {
 			var tot uint64
 			for _, n := range injected {
 				tot += n
@@ -197,142 +147,53 @@ func main() {
 			fmt.Printf("  faults    : %d injected across %d runs\n", tot, *runs)
 		}
 		fmt.Fprintf(os.Stderr, "(%d runs x %v simulated in %.1fs wall, parallel=%d)\n",
-			*runs, *runtimeF, wall, *parallel)
+			*runs, *runtimeF, wall, ropts.Parallel)
 	}
-	if traces != nil {
-		if dump != nil {
-			if err := traces.Flush(dump); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+	if run.Traces != nil {
+		if err := run.FlushTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		if *runs > 1 {
 			fmt.Printf("  trace     : %d events across %d rigs, combined digest %s\n",
-				traces.Events(), traces.Rigs(), traces.Digest())
+				run.Traces.Events(), run.Traces.Rigs(), run.Traces.Digest())
 		}
 	}
-	if *breakdown {
+	if ropts.Breakdown {
 		fmt.Println()
-		if err := mset.WriteBreakdown(os.Stdout); err != nil {
+		if err := run.Metrics.WriteBreakdown(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	if *metricsOn {
+	if ropts.Metrics {
 		fmt.Println()
-		if err := mset.WriteSummary(os.Stdout); err != nil {
+		if err := run.Metrics.WriteSummary(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	if *metricsOut != "" {
-		if err := writeMetrics(mset, *metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := run.WriteMetricsOut(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *timelineOn {
+	if ropts.Timeline {
 		fmt.Println()
-		if err := timeline.WriteSummary(os.Stdout, mset.TimelineDumps()); err != nil {
+		if err := run.WriteTimelineSummary(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	if *timelineOut != "" {
-		if err := writeTimeline(mset, *timelineOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := run.WriteTimelineOut(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
-// writeTimeline exports the recorded timelines as Chrome/Perfetto
-// trace-event JSON to path (stdout for "-"). Load the file in
-// ui.perfetto.dev or chrome://tracing, or inspect it offline with
-// `bmsctl timeline <file>`.
-func writeTimeline(mset *obs.Set, path string) error {
-	var w io.Writer = os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	return mset.WriteTimeline(w)
-}
-
-// runChaos parses "seed,count" and runs the chaos campaign: count seeded
-// fault schedules (seed, seed+1, …), each on a fresh rig under the
-// write-then-verify workload, with the invariant checker's verdict per run.
-// A failing seed's report line comes with the exact replay invocation.
-func runChaos(spec string, parallel int) int {
-	parts := strings.Split(spec, ",")
-	if len(parts) > 2 {
-		fmt.Fprintf(os.Stderr, "-chaos wants 'seed,count', got %q\n", spec)
-		return 2
-	}
-	seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "-chaos seed %q: %v\n", parts[0], err)
-		return 2
-	}
-	count := 1
-	if len(parts) == 2 {
-		if count, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil || count < 1 {
-			fmt.Fprintf(os.Stderr, "-chaos count %q must be a positive integer\n", parts[1])
-			return 2
-		}
-	}
-	start := time.Now()
-	c := bmstore.RunChaosCampaign(bmstore.ChaosOptions{
-		Seed: seed, Runs: count, Parallel: parallel,
-	})
-	c.WriteReport(os.Stdout)
-	fmt.Fprintf(os.Stderr, "(%d chaos runs in %.1fs wall, parallel=%d)\n",
-		count, time.Since(start).Seconds(), parallel)
-	if !c.OK() {
-		return 1
-	}
-	return 0
-}
-
-// writeMetrics exports the metrics set to path: CSV when the name ends in
-// .csv, pretty-printed JSON otherwise, stdout for "-".
-func writeMetrics(mset *obs.Set, path string) error {
-	var w io.Writer = os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	if strings.HasSuffix(path, ".csv") {
-		return mset.WriteCSV(w)
-	}
-	return mset.WriteJSON(w)
-}
-
-// driverConfig returns the host driver configuration for a run: the
-// default fail-fast driver, or — when faults are armed — one with the
-// recovery machinery (command timeout, abort, bounded retry) enabled, so
-// transient injected faults are absorbed instead of killing the workload.
-func driverConfig(cfg bmstore.Config) host.DriverConfig {
-	dcfg := host.DefaultDriverConfig()
-	if len(cfg.Faults) > 0 {
-		dcfg.CmdTimeout = 5 * sim.Millisecond
-		dcfg.MaxRetries = 8
-		dcfg.RetryBackoff = 200 * sim.Microsecond
-	}
-	return dcfg
-}
-
-// runOne builds the scheme's rig on a private environment and runs spec.
-// The second result is the number of faults the rig's injector fired.
-func runOne(cfg bmstore.Config, scheme string, ssds int, spec fio.Spec) (*fio.Result, uint64) {
+// runOne builds the scheme's rig on a private environment — observability
+// and faults composed through opts — and runs spec. The second result is
+// the number of faults the rig's injector fired.
+func runOne(cfg bmstore.Config, opts []bmstore.Option, dcfg host.DriverConfig, scheme string, ssds int, spec fio.Spec) (*fio.Result, uint64) {
 	var res *fio.Result
 	var tbEnv *sim.Env
 	switch scheme {
@@ -340,13 +201,12 @@ func runOne(cfg bmstore.Config, scheme string, ssds int, spec fio.Spec) (*fio.Re
 		if scheme == "spdk" {
 			cfg.Kernel = spdkvhost.PolledKernel()
 		}
-		tb, err := bmstore.NewDirectTestbed(cfg)
+		tb, err := bmstore.NewDirectTestbed(cfg, opts...)
 		if err != nil {
 			panic(err)
 		}
 		tbEnv = tb.Env
 		tb.Run(func(p *sim.Proc) {
-			dcfg := driverConfig(cfg)
 			if scheme == "vfio" {
 				vm := host.KVMGuest()
 				dcfg.VM = &vm
@@ -370,7 +230,7 @@ func runOne(cfg bmstore.Config, scheme string, ssds int, spec fio.Spec) (*fio.Re
 			res = fio.Run(p, devs, spec)
 		})
 	case "bmstore", "bmstore-vm":
-		tb, err := bmstore.NewBMStoreTestbed(cfg)
+		tb, err := bmstore.NewBMStoreTestbed(cfg, opts...)
 		if err != nil {
 			panic(err)
 		}
@@ -386,7 +246,6 @@ func runOne(cfg bmstore.Config, scheme string, ssds int, spec fio.Spec) (*fio.Re
 			if err := tb.Console.Bind(p, "vol0", 0); err != nil {
 				panic(err)
 			}
-			dcfg := driverConfig(cfg)
 			if scheme == "bmstore-vm" {
 				vm := host.KVMGuest()
 				dcfg.VM = &vm

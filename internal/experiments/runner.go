@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"bmstore"
+	"bmstore/internal/fault"
 	"bmstore/internal/obs"
 	"bmstore/internal/trace"
 )
@@ -101,6 +102,7 @@ type Harness struct {
 	pool    *Pool
 	traces  *trace.Set
 	metrics *obs.Set
+	faults  []fault.Rule
 	classic bool
 }
 
@@ -125,6 +127,16 @@ func (h *Harness) WithMetrics(set *obs.Set) *Harness {
 	return h
 }
 
+// WithFaults arms the same declarative fault schedule on every rig the
+// harness configures (each rig builds its own injector state, so parallel
+// sweeps stay independent). Injected faults change results, so a faulted
+// sweep is for debugging and availability studies, not the fidelity gate.
+// Returns the harness for chaining; an empty slice leaves injection off.
+func (h *Harness) WithFaults(rules []fault.Rule) *Harness {
+	h.faults = rules
+	return h
+}
+
 // WithClassicPath forces every rig onto the classic process-per-command
 // data path even when untraced (see bmstore.Config.DisableFastPath). The
 // fast path is timing-neutral, so this only changes wall-clock cost; it
@@ -141,17 +153,32 @@ func (h *Harness) Parallelism() int { return h.pool.Workers() }
 func (h *Harness) each(n int, fn func(i int)) { h.pool.Each(n, fn) }
 
 // config returns the testbed configuration for one named rig: DefaultConfig
-// plus the seed and, when tracing is on, the rig's child tracer. Rig names
+// plus the seed, with the harness's cross-cutting wiring (tracer, metrics,
+// faults, classic path) composed through the bmstore.Option API. Rig names
 // must be unique across the run; the convention is "<experiment>/<cell>".
 func (h *Harness) config(rig string, seed int64) bmstore.Config {
 	cfg := bmstore.DefaultConfig()
 	cfg.Seed = seed
+	return cfg.With(h.Options(rig)...)
+}
+
+// Options returns the per-rig option slice the harness would compose into a
+// config: the rig's child tracer and metrics registry, the shared fault
+// schedule, and the classic-path override. Exposed so drivers that build
+// their own Config (the fleet simulator) reuse the exact wiring.
+func (h *Harness) Options(rig string) []bmstore.Option {
+	var opts []bmstore.Option
 	if h.traces != nil {
-		cfg.Tracer = h.traces.Tracer(rig)
+		opts = append(opts, bmstore.WithTrace(h.traces.Tracer(rig)))
 	}
 	if h.metrics != nil {
-		cfg.Metrics = h.metrics.Registry(rig)
+		opts = append(opts, bmstore.WithMetrics(h.metrics.Registry(rig)))
 	}
-	cfg.DisableFastPath = h.classic
-	return cfg
+	if len(h.faults) > 0 {
+		opts = append(opts, bmstore.WithFaults(h.faults...))
+	}
+	if h.classic {
+		opts = append(opts, bmstore.WithClassicPath())
+	}
+	return opts
 }

@@ -5,6 +5,11 @@
 // set must be byte-identical no matter how many workers ran the sweep.
 package trace_test
 
+//lint:file-ignore SA1019 The neutrality tests toggle observability on a
+// prebuilt Scenario.Config between two otherwise-identical runs, which
+// means writing the deprecated Config.Metrics field directly; the
+// bmstore.Option constructor path is covered by options_test.go.
+
 import (
 	"bytes"
 	"testing"

@@ -5,6 +5,11 @@
 // how many OS threads the Go runtime used.
 package trace_test
 
+//lint:file-ignore SA1019 The neutrality tests toggle observability on a
+// prebuilt Scenario.Config between two otherwise-identical runs, which
+// means writing the deprecated Config.Metrics field directly; the
+// bmstore.Option constructor path is covered by options_test.go.
+
 import (
 	"bytes"
 	"runtime"

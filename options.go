@@ -1,0 +1,72 @@
+package bmstore
+
+import (
+	"bmstore/internal/fault"
+	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
+	"bmstore/internal/trace"
+)
+
+// Option composes observability and fault wiring onto a Config at testbed
+// construction: NewBMStoreTestbed(cfg, WithTrace(tr), WithFaults(rules...))
+// replaces poking the deprecated Config.Tracer / Config.Metrics /
+// Config.Faults / Config.DisableFastPath fields directly. Options apply in
+// order, so a later option can override an earlier one; the struct fields
+// keep delegating for one release and are then removed.
+type Option func(*Config)
+
+// With returns a copy of the configuration with opts applied. The
+// constructors call it on their variadic options; sweep drivers that build
+// one Config template per rig family can also apply per-rig options up
+// front and pass the result around as a plain value.
+func (c Config) With(opts ...Option) Config {
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// WithTrace attaches a determinism tracer to the rig: the scheduler and
+// every instrumented subsystem stream their events into it, yielding a run
+// digest (and optionally a human-readable dump). One tracer per rig — for
+// sweeps, hand out children of a trace.Set.
+func WithTrace(tr *trace.Tracer) Option {
+	return func(c *Config) { c.Tracer = tr }
+}
+
+// WithMetrics attaches a metrics registry to the rig: every instrumented
+// subsystem registers its counters, gauges, latency histograms and request
+// spans there (see internal/obs). Metrics are passive observers — attaching
+// a registry never changes simulated behaviour or trace digests. One
+// registry per rig — for sweeps, hand out children of an obs.Set.
+func WithMetrics(r *obs.Registry) Option {
+	return func(c *Config) { c.Metrics = r }
+}
+
+// WithFaults arms declarative fault rules on the rig (see internal/fault).
+// Multiple WithFaults options compose: each appends to the schedule. Rules
+// are plain values — the same slice can seed any number of rigs, each of
+// which builds its own injector state.
+func WithFaults(rules ...fault.Rule) Option {
+	return func(c *Config) { c.Faults = append(c.Faults[:len(c.Faults):len(c.Faults)], rules...) }
+}
+
+// WithTimeline enables sampled request-timeline recording and worst-K tail
+// forensics (see internal/obs/timeline). When the rig has no metrics
+// registry, one is built carrying the recorder — reach it afterwards via
+// Testbed.Metrics(). Combining WithTimeline with WithMetrics requires the
+// supplied registry to have been built with timeline recording itself
+// (obs.Options.Timeline); Validate rejects the silent-no-op combination.
+func WithTimeline(tc timeline.Config) Option {
+	return func(c *Config) { c.Timeline = tc }
+}
+
+// WithClassicPath forces the classic process-per-command data path even on
+// rigs with no tracer or fault injector. The event-fused fast path is
+// timing-neutral by construction (see DESIGN.md §11), so this exists for
+// A/B verification and debugging, not correctness.
+func WithClassicPath() Option {
+	return func(c *Config) { c.DisableFastPath = true }
+}

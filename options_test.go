@@ -1,0 +1,124 @@
+package bmstore
+
+import (
+	"strings"
+	"testing"
+
+	"bmstore/internal/fault"
+	"bmstore/internal/obs"
+	"bmstore/internal/obs/timeline"
+	"bmstore/internal/sim"
+	"bmstore/internal/trace"
+)
+
+// TestOptionsCompose checks the functional-options constructor: each With*
+// lands on the matching Config field, later options win, and nil options
+// are ignored.
+func TestOptionsCompose(t *testing.T) {
+	tr := trace.NewDigest()
+	reg := obs.NewRegistry()
+	rule := fault.Rule{Point: fault.SSDMediaRead, Nth: 1, Count: 1}
+
+	cfg := DefaultConfig().With(
+		WithTrace(tr),
+		WithMetrics(reg),
+		WithFaults(rule),
+		WithClassicPath(),
+		nil,
+	)
+	if cfg.Tracer != tr {
+		t.Error("WithTrace did not set Config.Tracer")
+	}
+	if cfg.Metrics != reg {
+		t.Error("WithMetrics did not set Config.Metrics")
+	}
+	if len(cfg.Faults) != 1 || cfg.Faults[0].Point != fault.SSDMediaRead {
+		t.Errorf("WithFaults did not append the rule: %+v", cfg.Faults)
+	}
+	if !cfg.DisableFastPath {
+		t.Error("WithClassicPath did not set Config.DisableFastPath")
+	}
+
+	// WithFaults appends; two applications accumulate.
+	cfg = cfg.With(WithFaults(rule))
+	if len(cfg.Faults) != 2 {
+		t.Errorf("second WithFaults should append, got %d rules", len(cfg.Faults))
+	}
+}
+
+// TestOptionsConstructor checks the wiring end to end: a testbed built with
+// options behaves as one with the (deprecated) fields set directly — same
+// trace digest, same attached observability.
+func TestOptionsConstructor(t *testing.T) {
+	run := func(tb *Testbed) {
+		tb.Run(func(p *sim.Proc) {
+			if err := tb.Console.CreateNamespace(p, "v", 1<<30, []int{0}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	trA, trB := trace.NewDigest(), trace.NewDigest()
+	cfgA := DefaultConfig()
+	cfgA.Tracer = trA // deprecated path, kept delegating for one release
+	tbA, err := NewBMStoreTestbed(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(tbA)
+
+	tbB, err := NewBMStoreTestbed(DefaultConfig(), WithTrace(trB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(tbB)
+
+	if trA.Digest() != trB.Digest() {
+		t.Errorf("options-built testbed diverged from field-built: %s vs %s", trA.Digest(), trB.Digest())
+	}
+	if tbB.Metrics() != nil {
+		t.Error("testbed without WithMetrics/WithTimeline reports a registry")
+	}
+}
+
+// TestWithTimelineAutoRegistry checks that WithTimeline alone is enough:
+// the constructor builds a metrics registry carrying the recorder, exposed
+// via Testbed.Metrics.
+func TestWithTimelineAutoRegistry(t *testing.T) {
+	tb, err := NewBMStoreTestbed(DefaultConfig(),
+		WithTimeline(timeline.Config{SampleEvery: 1, WorstK: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Metrics() == nil {
+		t.Fatal("WithTimeline did not auto-build a metrics registry")
+	}
+	if !tb.Metrics().TimelineEnabled() {
+		t.Error("auto-built registry records no timelines")
+	}
+}
+
+// TestWithTimelineRegistryConflict checks Validate's rejection of the one
+// combination that would silently drop data: an explicit registry that
+// records no timelines combined with WithTimeline.
+func TestWithTimelineRegistryConflict(t *testing.T) {
+	_, err := NewBMStoreTestbed(DefaultConfig(),
+		WithMetrics(obs.NewRegistry()),
+		WithTimeline(timeline.Config{SampleEvery: 1}))
+	if err == nil {
+		t.Fatal("constructor accepted WithTimeline + a timeline-less registry")
+	}
+	if !strings.Contains(err.Error(), "Timeline") {
+		t.Errorf("error should point at the timeline mismatch, got: %v", err)
+	}
+
+	// The matching registry is fine.
+	reg := obs.New(obs.Options{
+		SeriesInterval: obs.DefaultSeriesInterval,
+		Timeline:       timeline.Config{SampleEvery: 1},
+	})
+	if _, err := NewBMStoreTestbed(DefaultConfig(), WithMetrics(reg),
+		WithTimeline(timeline.Config{SampleEvery: 1})); err != nil {
+		t.Errorf("constructor rejected a timeline-recording registry: %v", err)
+	}
+}
