@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke timeline-smoke fleet-smoke bench-smoke bench-gate bench-json bench-baseline profile-sweep flaky figures-gate goldens
+.PHONY: all build test race race-runner lint determinism fault-smoke chaos-smoke timeline-smoke fleet-smoke crash-smoke bench-smoke bench-gate bench-json bench-baseline profile-sweep flaky figures-gate goldens
 
 all: build test
 
@@ -72,6 +72,15 @@ timeline-smoke:
 # (goldens/fleet_smoke.digest), and round-trip through `bmsctl fleet`.
 fleet-smoke:
 	bash scripts/fleet_smoke.sh
+
+# Crash-recovery smoke: a fixed-seed crash-point sweep (one crash per
+# pipeline-stage boundary, verified through recovery by the chaos oracle)
+# must PASS, report byte-identically across serial/parallel and
+# GOMAXPROCS 1/2/8, match the committed sweep digest
+# (goldens/crash_smoke.digest), and load in `bmsctl crash`. Failing
+# points are printed as exact replay commands.
+crash-smoke:
+	bash scripts/crash_smoke.sh
 
 # One iteration of every benchmark — catches bit-rot in benchmark code and
 # gives a cheap overhead spot-check without a full measurement run.

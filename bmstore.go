@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"bmstore/internal/controller"
+	"bmstore/internal/crash"
 	"bmstore/internal/engine"
 	"bmstore/internal/fault"
 	"bmstore/internal/host"
@@ -98,6 +99,13 @@ type Config struct {
 	// rejects the configuration instead of silently recording nothing.
 	Timeline timeline.Config
 
+	// CrashRecovery, when non-nil, arms the crash-recovery subsystem on
+	// BM-Store rigs (see internal/crash and WithCrashRecovery): the
+	// constructor builds a crash.Manager around the engine after bring-up
+	// and exposes it as Testbed.Crash; AttachTenant registers every tenant
+	// driver for post-recovery re-attach. Requires CaptureData.
+	CrashRecovery *crash.Config
+
 	// Faults is the declarative fault schedule of the rig (see
 	// internal/fault). A per-rig injector is built from these rules and
 	// attached to the environment before any component, so the SSDs, links,
@@ -130,6 +138,9 @@ func (c *Config) Validate() error {
 	}
 	if fault.HasDataHazards(c.Faults) && !c.CaptureData {
 		return fmt.Errorf("bmstore: fault schedule contains data-hazard rules (media-corrupt/torn-write/misdirected-read) but Config.CaptureData is off — no payload bytes exist to damage or verify, so the rules would be inert; set CaptureData: true")
+	}
+	if c.CrashRecovery != nil && !c.CaptureData {
+		return fmt.Errorf("bmstore: WithCrashRecovery needs Config.CaptureData — the journal redoes payload bytes at recovery, and without capture there is nothing to journal or verify")
 	}
 	if c.Timeline != (timeline.Config{}) && c.Metrics != nil && c.Metrics.Timeline() == nil {
 		return fmt.Errorf("bmstore: WithTimeline combined with a metrics registry that records no timelines — build the registry with obs.Options.Timeline, or drop WithMetrics and let the constructor build one")
@@ -164,6 +175,10 @@ type Testbed struct {
 	Controller *controller.Controller
 	Console    *controller.Console
 	EnginePort *pcie.Port
+
+	// Crash is the crash-recovery manager, non-nil when the rig was built
+	// with WithCrashRecovery.
+	Crash *crash.Manager
 
 	SSDs     []*ssd.SSD
 	SSDPorts []*pcie.Port // set only on direct-attached rigs
@@ -269,6 +284,9 @@ func NewBMStoreTestbed(cfg Config, opts ...Option) (*Testbed, error) {
 	if startErr != nil {
 		return nil, fmt.Errorf("bmstore: engine start failed: %w", startErr)
 	}
+	if cfg.CrashRecovery != nil {
+		tb.Crash = crash.New(env, eng, tb.SSDs, *cfg.CrashRecovery)
+	}
 	return tb, nil
 }
 
@@ -334,7 +352,11 @@ func (tb *Testbed) AttachTenant(p *sim.Proc, fn pcie.FuncID, dcfg host.DriverCon
 	if tb.Engine == nil {
 		return nil, fmt.Errorf("bmstore: not a BM-Store testbed")
 	}
-	return host.AttachDriver(p, tb.Host, tb.EnginePort, fn, dcfg)
+	drv, err := host.AttachDriver(p, tb.Host, tb.EnginePort, fn, dcfg)
+	if err == nil && tb.Crash != nil {
+		tb.Crash.RegisterDriver(drv)
+	}
+	return drv, err
 }
 
 // AttachNative attaches the kernel driver straight to SSD i (the native

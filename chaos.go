@@ -173,7 +173,7 @@ func RunChaosSchedule(sch chaos.Schedule, opts ChaosOptions, tr *trace.Tracer, m
 			Submitted: c.Submitted, Completed: c.Completed,
 			Timeouts: c.Timeouts, Aborts: c.Aborts, Retries: c.Retries,
 			Stragglers: c.Stragglers, Spurious: c.Spurious,
-			ZombiesLeft: c.ZombiesLeft,
+			Reclaimed: c.Reclaimed, ZombiesLeft: c.ZombiesLeft,
 		}
 	}
 	if vres != nil {

@@ -39,7 +39,17 @@
 //
 // re-renders a `bmstore-bench -fleet -fleet-json` export as the fleet
 // rollout report — per-host health, pause windows, SLO rollup, digests —
-// with exit status 1 when the rollout aborted.
+// with exit status 1 when the rollout aborted. And
+//
+//	bmsctl crash <crash.json>
+//
+// re-renders a `bmstore-bench -crash-sweep -crash-json` export as the
+// crash-point sweep report — per-stage crash instants, recovery times,
+// violations — with exit status 1 when any point failed.
+//
+// Every offline subcommand shares one error contract: unusable input
+// (missing file, malformed JSON, bad arguments) prints the usage or cause
+// to stderr and exits 2; a loadable artifact whose verdict is FAIL exits 1.
 package main
 
 import (
@@ -52,6 +62,7 @@ import (
 	"strings"
 
 	"bmstore"
+	"bmstore/internal/crash"
 	"bmstore/internal/experiments"
 	"bmstore/internal/fidelity"
 	"bmstore/internal/fleet"
@@ -62,44 +73,39 @@ import (
 
 const demoScript = `version; subsys; ds 0; inventory; create vol0 256; bind vol0 5; qos vol0 50000 0; health 0; counters 5; upgrade 0 VDV10200 256; inventory; events`
 
+// subcommands is the offline-viewer dispatch table. Every entry follows
+// one contract: err means unusable input (usage or cause goes to stderr,
+// exit 2); ok=false means the loaded artifact's verdict failed (exit 1).
+// A test walks this table and pins the contract for every subcommand.
+var subcommands = map[string]func(args []string) (bool, error){
+	"stats":         noVerdict(runStats),
+	"timeline":      noVerdict(runTimeline),
+	"fleet":         runFleetView,
+	"fidelity-diff": runFidelityDiff,
+	"crash":         runCrashView,
+}
+
+// noVerdict adapts a pure viewer (no pass/fail verdict) to the subcommand
+// contract.
+func noVerdict(fn func(args []string) error) func(args []string) (bool, error) {
+	return func(args []string) (bool, error) { return true, fn(args) }
+}
+
 func main() {
 	ssds := flag.Int("ssds", 2, "number of backend SSDs in the testbed")
 	flag.Parse()
-	if args := flag.Args(); len(args) > 0 && args[0] == "stats" {
-		if err := runStats(args[1:]); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if args := flag.Args(); len(args) > 0 {
+		if sub, found := subcommands[args[0]]; found {
+			ok, err := sub(args[1:])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bmsctl %s: %v\n", args[0], err)
+				os.Exit(2)
+			}
+			if !ok {
+				os.Exit(1)
+			}
+			return
 		}
-		return
-	}
-	if args := flag.Args(); len(args) > 0 && args[0] == "timeline" {
-		if err := runTimeline(args[1:]); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
-	}
-	if args := flag.Args(); len(args) > 0 && args[0] == "fleet" {
-		ok, err := runFleetView(args[1:])
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if !ok {
-			os.Exit(1)
-		}
-		return
-	}
-	if args := flag.Args(); len(args) > 0 && args[0] == "fidelity-diff" {
-		ok, err := runFidelityDiff(args[1:])
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if !ok {
-			os.Exit(1)
-		}
-		return
 	}
 	script := strings.Join(flag.Args(), " ")
 	if strings.TrimSpace(script) == "" {
@@ -282,6 +288,33 @@ func runFleetView(args []string) (bool, error) {
 		return false, err
 	}
 	return r.Passed(), nil
+}
+
+// runCrashView implements `bmsctl crash <crash.json>`: the offline viewer
+// for -crash-json exports of the engine crash-point sweep. It re-renders
+// the per-seed sweep tables — the Reports carry every field — so no
+// simulation runs. Returns ok=false (exit 1) when any point failed.
+func runCrashView(args []string) (bool, error) {
+	if len(args) != 1 {
+		return false, fmt.Errorf("usage: bmsctl crash <crash.json>")
+	}
+	reps, err := crash.LoadSweeps(args[0])
+	if err != nil {
+		return false, err
+	}
+	ok := true
+	for _, r := range reps {
+		r.WriteText(os.Stdout)
+		if !r.Clean() {
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Println("verdict: PASS")
+	} else {
+		fmt.Println("verdict: FAIL")
+	}
+	return ok, nil
 }
 
 // runFidelityDiff implements `bmsctl fidelity-diff <goldens-dir>

@@ -7,6 +7,8 @@
 //	              [-json out.json] [-check goldens/] [-write-goldens goldens/]
 //	bmstore-bench -fleet 64 [-fleet-wave 4] [-fleet-seed 1] [-fleet-json out.json]
 //	bmstore-bench -fleet 64 -fleet-seed 1 -fleet-host 10
+//	bmstore-bench -crash-sweep [-crash-seed 1] [-crash-seeds N] [-crash-json out.json]
+//	bmstore-bench -crash-sweep -crash-seed 1 -crash-point 4
 //
 // Independent rigs (each fio cell, each seed, each VM-count point) fan out
 // on a bounded worker pool; -parallel 1 and -parallel N produce
@@ -21,6 +23,14 @@
 // shape violation, and -write-goldens blesses the current numbers — after
 // the shape layer confirms they still support the paper's claims.
 //
+// -crash-sweep switches to the crash-recovery sweep: the BM-Engine is
+// hard-crashed at every pipeline-stage boundary of a probed request (one
+// rig per crash instant, see internal/experiments) and each run is checked
+// for acked-write loss, CID-book balance, and bounded recovery. Exit 1
+// means a point failed — the report names it with an exact replay command,
+// which is what -crash-point runs. -crash-json exports the reports for
+// `bmsctl crash`.
+//
 // -fleet N switches to the fleet deployment simulator: N independent
 // BM-Store hosts with seeded tenant placements, rolled through a firmware
 // hot-upgrade in -fleet-wave batches with a health gate between waves (see
@@ -34,6 +44,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +54,7 @@ import (
 	"time"
 
 	"bmstore/internal/cli"
+	"bmstore/internal/crash"
 	"bmstore/internal/experiments"
 	"bmstore/internal/fidelity"
 	"bmstore/internal/fleet"
@@ -68,6 +80,11 @@ func realMain() int {
 	fleetHost := flag.Int("fleet-host", -1, "replay this single host of the fleet instead of the whole rollout (with -fleet)")
 	fleetSSDs := flag.Int("fleet-ssds", 1, "backend SSDs per host, each hot-upgraded in turn (with -fleet)")
 	fleetJSON := flag.String("fleet-json", "", "write the fleet result as JSON to this file for offline inspection with 'bmsctl fleet' (- for stdout)")
+	crashSweep := flag.Bool("crash-sweep", false, "run the engine crash-point sweep instead of the evaluation sweep: one crash rig per pipeline-stage boundary, exit 1 on any violation")
+	crashSeed := flag.Int64("crash-seed", 1, "base seed of the crash sweep (with -crash-sweep)")
+	crashSeeds := flag.Int("crash-seeds", 1, "number of seeds swept: seed, seed+1, ... (with -crash-sweep)")
+	crashPoint := flag.Int("crash-point", -1, "replay this single crash point instead of the whole sweep (with -crash-sweep; the replay command a failing report prints)")
+	crashJSON := flag.String("crash-json", "", "write the crash-sweep reports as JSON to this file for offline inspection with 'bmsctl crash' (- for stdout)")
 	var ropts cli.RunOptions
 	ropts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -132,7 +149,9 @@ func realMain() int {
 	defer run.Close()
 
 	exitCode := 0
-	if *fleetN > 0 {
+	if *crashSweep {
+		exitCode = runCrashSweep(run, *crashSeed, *crashSeeds, *crashPoint, *crashJSON)
+	} else if *fleetN > 0 {
 		exitCode = runFleet(run, sc, *fleetN, *fleetWave, *fleetSSDs, *fleetSeed, *fleetHost, *fleetJSON)
 	} else {
 		exitCode = runSweep(run, sc, sel, *only, *jsonOut, *checkDir, *writeGoldens)
@@ -255,6 +274,57 @@ func runSweep(run *cli.Run, sc experiments.Scale, sel []experiments.Experiment, 
 		if !rep.OK() {
 			return 1
 		}
+	}
+	return 0
+}
+
+// runCrashSweep executes the crash-point sweep (or one point's replay)
+// with the shared run wiring. Returns the process exit code: 1 when any
+// point reports a violation or finding, 2 when the sweep itself could not
+// run (probe failure, bad point index).
+func runCrashSweep(run *cli.Run, seed int64, seeds, point int, jsonOut string) int {
+	start := time.Now()
+	if point >= 0 {
+		pt, err := experiments.RunCrashPoint(seed, point, crash.Config{}, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "(crash point in %.1fs wall)\n", time.Since(start).Seconds())
+		rep := &crash.SweepReport{Seed: seed, Points: []crash.PointReport{pt}, Digest: pt.Digest}
+		rep.WriteText(os.Stdout)
+		if !rep.Clean() {
+			fmt.Println("verdict: FAIL")
+			return 1
+		}
+		fmt.Println("verdict: PASS")
+		return 0
+	}
+	sw, err := experiments.RunCrashSweep(experiments.CrashSweepOptions{
+		Seed: seed, Seeds: seeds, Parallel: run.Opts.Parallel,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "(crash sweep of %d seed(s) x %d points in %.1fs wall, parallel=%d)\n",
+		seeds, len(sw.Reports[0].Points), time.Since(start).Seconds(), run.Opts.Parallel)
+	sw.WriteReport(os.Stdout)
+	if jsonOut != "" {
+		if err := writeTo(jsonOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if len(sw.Reports) == 1 {
+				return enc.Encode(sw.Reports[0])
+			}
+			return enc.Encode(sw.Reports)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if !sw.Clean() {
+		return 1
 	}
 	return 0
 }

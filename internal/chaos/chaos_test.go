@@ -214,6 +214,23 @@ func TestCheckGreenReport(t *testing.T) {
 	}
 }
 
+func TestCheckCrashRegimeClean(t *testing.T) {
+	// Under the crash regime a timed-out CID may be reaped by a late
+	// straggler OR force-reclaimed at re-attach; any split that sums to
+	// the timeout count balances the books.
+	r := greenReport()
+	r.Crash = true
+	r.Counters.Timeouts = 3
+	r.Counters.Completed -= 3
+	r.Counters.Aborts = 3
+	r.Counters.Stragglers = 1
+	r.Counters.Reclaimed = 2
+	r.InDoubt = 1
+	if fs := Check(r); len(fs) != 0 {
+		t.Fatalf("clean crash-regime report flagged: %v", fs)
+	}
+}
+
 func TestCheckPlantedViolations(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -253,6 +270,17 @@ func TestCheckPlantedViolations(t *testing.T) {
 			r.Counters.Aborts = 1
 			r.Counters.Stragglers = 1
 		}, "unexplained-timeouts"},
+		{"reclaims without a crash", func(r *Report) {
+			r.Counters.Reclaimed = 1
+		}, "unexplained-reclaims"},
+		{"crash regime straggler leak", func(r *Report) {
+			r.Crash = true
+			r.Counters.Timeouts = 2
+			r.Counters.Completed -= 2 // keep submitted = completed + timeouts
+			r.Counters.Aborts = 2
+			r.Counters.Stragglers = 1
+			r.Counters.Reclaimed = 0 // one timed-out CID unaccounted for
+		}, "straggler-accounting"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -17,6 +17,7 @@ type Counters struct {
 	Retries     uint64
 	Stragglers  uint64
 	Spurious    uint64
+	Reclaimed   uint64
 	ZombiesLeft int
 }
 
@@ -39,6 +40,14 @@ type Report struct {
 	Fired    map[fault.Point]uint64
 
 	Counters Counters
+
+	// Crash selects the crash-recovery invariant regime: the rig killed
+	// and recovered the engine, so timed-out CIDs may have been force-
+	// reclaimed at re-attach (their straggler CQE died with the card)
+	// instead of reaped by a late completion. Everything else — CID
+	// conservation, no spurious CQEs, no acked-write loss — stays as
+	// strict as ever.
+	Crash bool
 
 	// Workload tallies: acknowledged operations and clean I/O errors.
 	Writes    uint64
@@ -101,8 +110,22 @@ func Check(r *Report) []Finding {
 	if c.Aborts != c.Timeouts {
 		fail("abort-accounting", "aborts %d != timeouts %d (one abort per timed-out command)", c.Aborts, c.Timeouts)
 	}
-	if c.Stragglers != c.Timeouts {
-		fail("straggler-accounting", "stragglers %d != timeouts %d at quiesce", c.Stragglers, c.Timeouts)
+	if r.Crash {
+		// A dead card posts no straggler CQEs: every timeout ends either
+		// reaped by a late completion (pre-crash or post-recovery) or
+		// force-reclaimed at re-attach. Both paths must still account for
+		// every timed-out CID exactly once.
+		if c.Stragglers+c.Reclaimed != c.Timeouts {
+			fail("straggler-accounting", "stragglers %d + reclaimed %d != timeouts %d at quiesce",
+				c.Stragglers, c.Reclaimed, c.Timeouts)
+		}
+	} else {
+		if c.Stragglers != c.Timeouts {
+			fail("straggler-accounting", "stragglers %d != timeouts %d at quiesce", c.Stragglers, c.Timeouts)
+		}
+		if c.Reclaimed != 0 {
+			fail("unexplained-reclaims", "%d CIDs force-reclaimed on a run with no crash", c.Reclaimed)
+		}
 	}
 	if r.InDoubt > c.Timeouts {
 		fail("in-doubt-accounting", "%d in-doubt writes but only %d timeouts", r.InDoubt, c.Timeouts)

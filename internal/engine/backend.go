@@ -115,6 +115,7 @@ func (e *Engine) Start(p *sim.Proc) error {
 			return fmt.Errorf("engine: backend %d: %w", b.idx, err)
 		}
 	}
+	e.armCrashRules()
 	return nil
 }
 
@@ -273,8 +274,15 @@ func (b *backend) adminCmd(p *sim.Proc, cmd nvme.Command) nvme.Completion {
 // device-side (serial, queue, CID) coordinates so the SSD can attribute
 // its media time to the right request span.
 func (b *backend) submitIO(p *sim.Proc, cmd nvme.Command, qhint int, skey uint64, done func(nvme.Completion)) {
+	epoch := b.e.epoch
+	if b.e.dead {
+		return // crash swallowed the command before the host adaptor saw it
+	}
 	subT0 := b.e.env.Now()
 	b.waitGate(p)
+	if b.e.dead || b.e.epoch != epoch {
+		return // the gate wait spanned a crash
+	}
 	if b.e.flt != nil {
 		// Injected host-adaptor stall: submissions to this SSD are held for
 		// the rule's window (a congested or wedged back-end path), re-checking
@@ -289,10 +297,17 @@ func (b *backend) submitIO(p *sim.Proc, cmd nvme.Command, qhint int, skey uint64
 			}
 			p.Sleep(sim.Time(end) - b.e.env.Now())
 			b.waitGate(p)
+			if b.e.dead || b.e.epoch != epoch {
+				return
+			}
 		}
 	}
 	sq := b.ioSQs[qhint%len(b.ioSQs)]
 	sq.slots.Acquire(p)
+	if b.e.dead || b.e.epoch != epoch {
+		sq.slots.Release()
+		return // the slot wait spanned a crash; hand the slot straight back
+	}
 	cid := b.allocCID()
 	cmd.CID = cid
 	cmd.NSID = b.backendNSID

@@ -80,6 +80,22 @@ type Engine struct {
 	// submit path consults it for injected stalls.
 	flt *fault.Injector
 
+	// Crash state (see crash.go): dead latches while the card is down;
+	// epoch counts crash generations so pre-crash work that resumes after a
+	// recovery can detect the generation change and bail instead of
+	// touching the restored state.
+	dead  bool
+	epoch uint64
+	// crashArmed/crashOnDispatch gate engine-crash rule evaluation:
+	// timer rules are scheduled once at Start, Nth-op rules are checked on
+	// each dispatch only when one exists.
+	crashArmed      bool
+	crashOnDispatch bool
+	// Crash-manager hooks (all optional; see SetCrashHooks).
+	onCrash     func(CrashInfo)
+	onWriteAck  func(WriteAck)
+	onCtlChange func()
+
 	hostPort *pcie.Port
 	chip     *hostmem.Memory
 	free     []uint64 // recycled chip-memory pages for PRP lists
@@ -169,6 +185,9 @@ func (e *Engine) VDMToHost(pkt []byte) { e.hostPort.VDMToHost(pkt) }
 // RegWrite implements pcie.RegDevice: the SR-IOV layer demultiplexes
 // register writes to the per-function virtual NVMe controllers.
 func (e *Engine) RegWrite(fn pcie.FuncID, off uint64, val uint64) {
+	if e.dead {
+		return // a crashed card ignores MMIO; doorbells during the outage are lost
+	}
 	if int(fn) >= len(e.funcs) {
 		return
 	}

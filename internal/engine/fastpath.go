@@ -131,6 +131,7 @@ type feIO struct {
 	nBytes int
 	start0 sim.Time
 	qosT0  sim.Time
+	epoch  uint64 // crash generation captured at start; stale → bail
 
 	extents    []Extent
 	subs       []subCommand
@@ -208,6 +209,11 @@ func (io *feIO) fail(st nvme.Status) {
 // start runs at the classic handleIO process's first activation position.
 func (io *feIO) start() {
 	f, e := io.f, io.e
+	if e.dead || e.crashDispatchHit() {
+		e.putFeIO(io) // the command vanishes; host timeout covers it
+		return
+	}
+	io.epoch = e.epoch
 	ns := f.ns
 	if ns == nil || io.cmd.NSID != FrontNSID {
 		io.fail(nvme.StatusInvalidNamespace)
@@ -241,6 +247,10 @@ func (io *feIO) start() {
 }
 
 func (io *feIO) mapped() {
+	if io.e.dead || io.e.epoch != io.epoch {
+		io.e.putFeIO(io)
+		return
+	}
 	var err error
 	io.extents, err = io.ns.mt.LookupRangeInto(io.extents[:0], io.slba, io.nlb)
 	if err != nil {
@@ -252,6 +262,10 @@ func (io *feIO) mapped() {
 }
 
 func (io *feIO) admitted(any) {
+	if io.e.dead || io.e.epoch != io.epoch {
+		io.e.putFeIO(io) // the QoS park outlived a crash
+		return
+	}
 	if io.e.tl {
 		io.e.met.SpanWait(io.skey, timeline.WaitQoS, int64(io.e.env.Now()-io.qosT0))
 	}
@@ -324,6 +338,11 @@ func (io *feIO) forwardSub() {
 }
 
 func (io *feIO) subDone(c nvme.Completion) {
+	if io.e.dead || io.e.epoch != io.epoch {
+		// Completion raced a crash. Other sub-completions may still hold
+		// this record, so it is abandoned to the GC rather than pooled.
+		return
+	}
 	if c.Status.IsError() && io.worst == nvme.StatusSuccess {
 		io.worst = c.Status
 	}
@@ -344,6 +363,9 @@ func (io *feIO) subDone(c nvme.Completion) {
 		io.ns.WriteStats.Record(io.nBytes, lat)
 	}
 	f, sq, cmd, sqHead, worst := io.f, io.sq, io.cmd, io.sqHead, io.worst
+	if e.onWriteAck != nil && cmd.Opcode == nvme.IOWrite && !worst.IsError() {
+		e.journalAck(f, io.slba, io.nlb, io.subs)
+	}
 	e.putFeIO(io)
 	f.postCQE(sq.cqid, nvme.Completion{CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead), Status: worst})
 }
@@ -400,6 +422,7 @@ type beSubmit struct {
 	qhint     int
 	skey      uint64
 	t0        sim.Time
+	epoch     uint64 // crash generation captured at submit entry
 	done      func(nvme.Completion)
 	submitted func()
 
@@ -427,6 +450,7 @@ func (b *backend) submitIOCB(cmd nvme.Command, qhint int, skey uint64, done func
 	}
 	s.cmd, s.qhint, s.skey, s.done, s.submitted = cmd, qhint, skey, done, submitted
 	s.t0 = b.e.env.Now()
+	s.epoch = b.e.epoch
 	s.gate(nil)
 }
 
@@ -434,6 +458,11 @@ func (b *backend) submitIOCB(cmd nvme.Command, qhint int, skey uint64, done func
 // shape of waitGate.
 func (s *beSubmit) gate(any) {
 	b := s.b
+	if b.e.dead || b.e.epoch != s.epoch {
+		s.sq, s.done, s.submitted = nil, nil, nil
+		b.submitFree = append(b.submitFree, s)
+		return // crash swallowed the submission; host timeout covers it
+	}
 	if b.gateClosed {
 		ev := b.e.env.PooledEvent()
 		ev.AddCallback(s.gateFn)
@@ -447,6 +476,12 @@ func (s *beSubmit) gate(any) {
 
 func (s *beSubmit) slot(any) {
 	b, sq := s.b, s.sq
+	if b.e.dead || b.e.epoch != s.epoch {
+		sq.slots.Release()
+		s.sq, s.done, s.submitted = nil, nil, nil
+		b.submitFree = append(b.submitFree, s)
+		return // the slot wait spanned a crash; hand the slot straight back
+	}
 	cid := b.allocCID()
 	cmd := s.cmd
 	cmd.CID = cid

@@ -157,6 +157,9 @@ func (f *function) fetchLoop(p *sim.Proc, sq *feSQ) {
 // postCQE writes one completion entry into the function's CQ in host
 // memory and raises the MSI for it (step 7 of the paper's Fig. 6).
 func (f *function) postCQE(cqid uint16, cpl nvme.Completion) {
+	if f.e.dead {
+		return // a dead card posts no completions
+	}
 	cq, ok := f.cqs[cqid]
 	if !ok {
 		return
@@ -180,7 +183,14 @@ func (f *function) postCQE(cqid uint16, cpl nvme.Completion) {
 // operations (namespace creation, firmware, …) are NOT exposed here — they
 // belong to the out-of-band path through the BMS-Controller.
 func (f *function) handleAdmin(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint32) {
+	if f.e.dead {
+		return
+	}
+	epoch := f.e.epoch
 	p.Sleep(2 * sim.Microsecond)
+	if f.e.dead || f.e.epoch != epoch {
+		return // the admin command raced a crash; host times out and retries
+	}
 	cpl := nvme.Completion{CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead)}
 	switch cmd.Opcode {
 	case nvme.AdminIdentify:
@@ -265,6 +275,12 @@ const FrontNSID = 1
 // handleIO is steps 2-3 of the paper's Fig. 6: LBA mapping, QoS admission,
 // PRP rewriting into global PRPs, and forwarding to the host adaptor.
 func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint32) {
+	if f.e.dead || f.e.crashDispatchHit() {
+		// Hard crash: the command vanishes without a CQE; the host driver's
+		// timeout machinery classifies it into the in-doubt window.
+		return
+	}
+	epoch := f.e.epoch
 	if tr := f.e.tr; tr != nil {
 		tr.Emit(f.e.env.Now(), "engine", "dispatch",
 			uint64(f.id)<<32|uint64(sq.id)<<16|uint64(cmd.Opcode), uint64(cmd.CID), "")
@@ -305,6 +321,9 @@ func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint
 
 	// LBA mapping (step 2).
 	p.Sleep(f.e.cfg.MapLatency)
+	if f.e.dead || f.e.epoch != epoch {
+		return
+	}
 	extents, err := ns.mt.LookupRange(slba, nlb)
 	if err != nil {
 		fail(nvme.StatusInternal)
@@ -318,6 +337,9 @@ func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint
 	// until the dispatcher re-admits them.
 	qosT0 := p.Now()
 	ns.admit(p, nBytes)
+	if f.e.dead || f.e.epoch != epoch {
+		return // the QoS park outlived a crash
+	}
 	if f.e.tl {
 		f.e.met.SpanWait(skey, timeline.WaitQoS, int64(p.Now()-qosT0))
 	}
@@ -345,7 +367,15 @@ func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint
 		bcmd.SetSLBA(sub.physLBA)
 		bcmd.SetNLB(sub.blocks)
 		p.Sleep(f.e.cfg.ForwardLatency)
+		if f.e.dead || f.e.epoch != epoch {
+			// Crash mid-forward: the chip-memory list pages are lost with
+			// the card's state (not recycled), like real on-chip RAM.
+			return
+		}
 		be.submitIO(p, bcmd, int(f.id)*7+int(sq.id), skey, func(c nvme.Completion) {
+			if f.e.dead || f.e.epoch != epoch {
+				return // completion raced a crash; the CQE is lost with the card
+			}
 			if c.Status.IsError() && worst == nvme.StatusSuccess {
 				worst = c.Status
 			}
@@ -362,6 +392,9 @@ func (f *function) handleIO(p *sim.Proc, sq *feSQ, cmd nvme.Command, sqHead uint
 				ns.ReadStats.Record(nBytes, lat)
 			} else {
 				ns.WriteStats.Record(nBytes, lat)
+			}
+			if f.e.onWriteAck != nil && !isRead && !worst.IsError() {
+				f.e.journalAck(f, slba, nlb, subs)
 			}
 			f.postCQE(sq.cqid, nvme.Completion{
 				CID: cmd.CID, SQID: sq.id, SQHead: uint16(sqHead), Status: worst,

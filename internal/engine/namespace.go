@@ -91,6 +91,7 @@ func (e *Engine) CreateNamespace(name string, sizeBytes uint64, ssds []int) (*Na
 		}
 		ns.chunks = append(ns.chunks, ent)
 	}
+	e.ctlChanged()
 	return ns, nil
 }
 
@@ -107,6 +108,7 @@ func (e *Engine) DestroyNamespace(ns *Namespace) error {
 		return fmt.Errorf("engine: namespace %q still bound to function %d", ns.Name, ns.boundTo.id)
 	}
 	e.releaseChunks(ns)
+	e.ctlChanged()
 	return nil
 }
 
@@ -124,6 +126,7 @@ func (e *Engine) Bind(fn pcie.FuncID, ns *Namespace) error {
 	}
 	f.ns = ns
 	ns.boundTo = f
+	e.ctlChanged()
 	return nil
 }
 
@@ -135,12 +138,16 @@ func (e *Engine) Unbind(fn pcie.FuncID) {
 	if f.ns != nil {
 		f.ns.boundTo = nil
 		f.ns = nil
+		e.ctlChanged()
 	}
 }
 
 // SetQoS installs rate limits on the namespace.
 func (ns *Namespace) SetQoS(l QoSLimits) {
 	ns.qos = newQoSBucket(ns.env, l)
+	if f := ns.boundTo; f != nil {
+		f.e.ctlChanged()
+	}
 }
 
 // Limits returns the current QoS limits.

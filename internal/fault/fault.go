@@ -63,6 +63,14 @@ const (
 	// returned comes from the neighbouring LBA (an FTL mapping slip), the
 	// status is success, and timing is untouched. Data-hazard point.
 	ReadMisdirect
+	// EngineCrash hard-crashes the BM-Engine card: at time At (or on the
+	// Nth engine dispatch when Nth is set) the engine atomically loses its
+	// volatile state — in-flight commands vanish without completions,
+	// doorbells are ignored, the write-back cache of journaled writes is
+	// lost. Recovery (checkpoint restore + journal redo + host re-attach)
+	// is driven by internal/crash when the rig arms it; without a crash
+	// manager the engine simply stays dead, like SSDDrop.
+	EngineCrash
 	numPoints
 )
 
@@ -89,6 +97,8 @@ func (pt Point) String() string {
 		return "torn-write"
 	case ReadMisdirect:
 		return "misdirected-read"
+	case EngineCrash:
+		return "engine-crash"
 	}
 	return "?"
 }

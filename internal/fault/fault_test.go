@@ -300,3 +300,60 @@ func TestInjectedBy(t *testing.T) {
 		t.Fatal("nil injector InjectedBy should be 0")
 	}
 }
+
+func TestParseSpecEngineCrash(t *testing.T) {
+	rules, err := ParseSpec("engine-crash,t=4ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Point != EngineCrash || rules[0].At != 4_000_000 {
+		t.Fatalf("rules = %+v", rules)
+	}
+	rules, err = ParseSpec("engine-crash,nth=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules[0].Nth != 32 || rules[0].At != 0 {
+		t.Fatalf("nth rule = %+v", rules[0])
+	}
+	if EngineCrash.String() != "engine-crash" {
+		t.Fatalf("String = %q", EngineCrash.String())
+	}
+	if EngineCrash.DataHazard() {
+		t.Fatal("engine-crash is not a data-hazard point")
+	}
+}
+
+func TestParseSpecRejectsDuplicateRules(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		dup  string // "" when the spec must parse
+	}{
+		{"plain duplicate", "media-err;media-err", `"media-err"`},
+		{"duplicate with fields", "ssd-stall,t=2ms,dur=1ms;ssd-stall,t=2ms,dur=1ms", `"ssd-stall,t=2ms,dur=1ms"`},
+		{"duplicate after whitespace trim", "ssd-drop,t=1ms; ssd-drop,t=1ms ", `"ssd-drop,t=1ms"`},
+		{"triple, first pair reported", "mctp-drop;mctp-drop;mctp-drop", `"mctp-drop"`},
+		{"duplicate amid others", "media-err;engine-crash,t=3ms;media-slow,dur=2ms;engine-crash,t=3ms", `"engine-crash,t=3ms"`},
+		{"same kind different fields ok", "media-err,nth=1;media-err,nth=2", ""},
+		{"same kind different targets ok", "ssd-drop,target=CH0;ssd-drop,target=CH1", ""},
+		{"single rule ok", "engine-crash,t=1ms", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.spec)
+			if tc.dup == "" {
+				if err != nil {
+					t.Fatalf("spec %q should parse: %v", tc.spec, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("spec %q should be rejected as a duplicate", tc.spec)
+			}
+			if !strings.Contains(err.Error(), "duplicate") || !strings.Contains(err.Error(), tc.dup) {
+				t.Fatalf("error %q should say duplicate and name token %s", err, tc.dup)
+			}
+		})
+	}
+}

@@ -16,8 +16,10 @@ import (
 //
 // Kinds: media-err, media-slow, admin-err, ssd-stall, ssd-drop,
 // pcie-replay, mctp-drop, backend-stall, media-corrupt, torn-write,
-// misdirected-read. Times (t, dur) use Go duration syntax and are virtual
-// time; status accepts decimal or 0x-hex.
+// misdirected-read, engine-crash. Times (t, dur) use Go duration syntax and
+// are virtual time; status accepts decimal or 0x-hex. A rule token may
+// appear at most once: exact duplicates double their firings silently, so
+// they are rejected.
 //
 // Example — drop SSD PHLJ0000 20 ms in, and make every 100th media read on
 // any drive take an extra 2 ms:
@@ -25,11 +27,16 @@ import (
 //	ssd-drop,t=20ms,target=PHLJ0000;media-slow,nth=100,count=-1,dur=2ms
 func ParseSpec(spec string) ([]Rule, error) {
 	var rules []Rule
+	seen := make(map[string]bool)
 	for _, part := range strings.Split(spec, ";") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
+		if seen[part] {
+			return nil, fmt.Errorf("fault: duplicate rule %q: the same token appears twice in the spec — a repeated rule doubles its firings silently, so drop one copy (or change a field, e.g. count=2, if two firings are meant)", part)
+		}
+		seen[part] = true
 		r, err := parseRule(part)
 		if err != nil {
 			return nil, fmt.Errorf("fault: rule %q: %w", part, err)
@@ -57,6 +64,10 @@ var specKinds = map[string]Rule{
 	"media-corrupt":    {Point: MediaCorrupt},
 	"torn-write":       {Point: WriteTorn},
 	"misdirected-read": {Point: ReadMisdirect},
+	// Hard engine crash: t= crashes at that virtual instant, nth= on the
+	// Nth engine dispatch. Pair with a crash manager (internal/crash /
+	// bmstore.WithCrashRecovery) for checkpoint-restore recovery.
+	"engine-crash": {Point: EngineCrash},
 }
 
 // validKinds returns the spec kinds sorted, for error messages.

@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"bmstore"
+	"bmstore/internal/crash"
 	"bmstore/internal/experiments"
 	"bmstore/internal/fault"
 	"bmstore/internal/fio"
@@ -86,6 +87,13 @@ type Options struct {
 	// per-host rules on top (the planted-failure knob for gate tests).
 	Faults       []fault.Rule
 	FaultsByHost map[int][]fault.Rule
+
+	// CrashRecovery arms the engine checkpoint/journal layer on every
+	// host, so FaultsByHost can plant engine-crash rules on individual
+	// hosts mid-wave and the gate verifies they ride through recovery.
+	// Hosts without a crash rule run unchanged (the manager only acts
+	// when a crash fires). Implies data capture on every host.
+	CrashRecovery *crash.Config
 
 	// Traces optionally shares an external tracer family (-trace dumps).
 	// When nil the fleet builds an internal digest-only set, so reports
@@ -182,6 +190,11 @@ type HostResult struct {
 
 	Upgrades []UpgradeStats  `json:"upgrades"`
 	Counters host.IOCounters `json:"counters"`
+
+	// Crashes / RecoveredMS report the host's engine crash-recovery
+	// activity when Options.CrashRecovery armed the subsystem.
+	Crashes     int     `json:"crashes,omitempty"`
+	RecoveredMS float64 `json:"recovered_ms,omitempty"`
 
 	Digest string `json:"digest"` // the host rig's determinism digest
 
@@ -299,6 +312,10 @@ func runHost(o Options, hostIdx int) HostResult {
 	if o.DisableFastPath {
 		opts = append(opts, bmstore.WithClassicPath())
 	}
+	if o.CrashRecovery != nil {
+		cfg.CaptureData = true
+		opts = append(opts, bmstore.WithCrashRecovery(*o.CrashRecovery))
+	}
 
 	tb, err := bmstore.NewBMStoreTestbed(cfg, opts...)
 	if err != nil {
@@ -312,6 +329,15 @@ func runHost(o Options, hostIdx int) HostResult {
 		// the chaos campaign does: timeouts, bounded retries, abort path.
 		dcfg.CmdTimeout = 5 * sim.Millisecond
 		dcfg.MaxRetries = 8
+		dcfg.RetryBackoff = 200 * sim.Microsecond
+	}
+	if o.CrashRecovery != nil {
+		// Crash recovery leans on the timeout/retry machinery, and a
+		// crash's retry storm can spill into an upgrade's I/O pause — the
+		// budget must ride out both back to back, so it gets more retries
+		// than the plain fault campaign.
+		dcfg.CmdTimeout = 5 * sim.Millisecond
+		dcfg.MaxRetries = 12
 		dcfg.RetryBackoff = 200 * sim.Microsecond
 	}
 
@@ -406,9 +432,24 @@ func runHost(o Options, hostIdx int) HostResult {
 			hr.Counters.Retries += c.Retries
 			hr.Counters.Stragglers += c.Stragglers
 			hr.Counters.Spurious += c.Spurious
+			hr.Counters.Reclaimed += c.Reclaimed
 			hr.Counters.ZombiesLeft += c.ZombiesLeft
 		}
 	}, o.Horizon)
+
+	if tb.Crash != nil {
+		st := tb.Crash.Stats()
+		hr.Crashes = st.Crashes
+		if st.RecoveredAt > st.CrashedAt {
+			hr.RecoveredMS = float64(st.RecoveredAt-st.CrashedAt) / 1e6
+		}
+		if st.Crashes > 0 && st.RecoveredAt == 0 {
+			unhealthy("engine crashed at t=%dns and never recovered", st.CrashedAt)
+		}
+		if st.RecoverErr != "" {
+			unhealthy("crash recovery failed: %s", st.RecoverErr)
+		}
+	}
 
 	hr.Ops, hr.Errs = ops, errs
 	if n := hr.hist.N(); n > 0 {

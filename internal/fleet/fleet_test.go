@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"bmstore/internal/crash"
 	"bmstore/internal/fault"
 	"bmstore/internal/sim"
 )
@@ -229,5 +230,55 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if direct.String() != viaJSON.String() {
 		t.Errorf("report changed across JSON round-trip:\n--- direct\n%s--- loaded\n%s",
 			direct.String(), viaJSON.String())
+	}
+}
+
+// TestFleetHostCrashMidWave hard-crashes one host's engine in the middle
+// of its wave (mid-warmup, with tenant I/O in flight) with crash recovery
+// armed: the host must ride the outage on the driver's timeout/retry
+// machinery, recover, finish its upgrade, and still pass the health gate —
+// so the rollout completes. A second run with recovery disabled must fail
+// the gate at exactly that host, proving the scenario is load-bearing.
+func TestFleetHostCrashMidWave(t *testing.T) {
+	const hosts, wave, seed = 4, 2, 7
+	const victim = 1
+	rules, err := fault.ParseSpec("engine-crash,t=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := testOptions(hosts, wave, seed, 0)
+	o.FaultsByHost = map[int][]fault.Rule{victim: rules}
+	o.CrashRecovery = &crash.Config{}
+	r := Run(o)
+	vh := r.PerHost[victim]
+	if vh.Crashes != 1 {
+		t.Fatalf("victim host recorded %d crashes, want 1", vh.Crashes)
+	}
+	if vh.RecoveredMS <= 0 {
+		t.Errorf("victim host has no recovery time: %+v", vh)
+	}
+	if !vh.Healthy {
+		t.Errorf("victim host failed the gate despite recovery: %s", vh.Reason)
+	}
+	if !r.Passed() {
+		t.Fatalf("fleet with recovering host aborted at wave %d", r.AbortedWave)
+	}
+	for _, h := range r.PerHost {
+		if h.Host != victim && h.Crashes != 0 {
+			t.Errorf("host %d crashed %d times without a planted rule", h.Host, h.Crashes)
+		}
+	}
+
+	o.CrashRecovery = &crash.Config{DisableRecovery: true}
+	r = Run(o)
+	if r.Passed() {
+		t.Fatal("fleet passed the gate with the victim host dead and recovery disabled")
+	}
+	if r.AbortedWave != victim/wave {
+		t.Fatalf("aborted at wave %d, want wave %d", r.AbortedWave, victim/wave)
+	}
+	if h := r.PerHost[victim]; h.Healthy {
+		t.Error("dead victim host reported healthy")
 	}
 }

@@ -3,6 +3,7 @@ package host
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"bmstore/internal/nvme"
 	"bmstore/internal/obs"
@@ -20,6 +21,10 @@ const (
 	regASQ = 0x28
 	regACQ = 0x30
 )
+
+// adminDepth is the admin queue-pair depth, fixed at attach and reused by
+// Reattach when it reprograms AQA after a controller crash.
+const adminDepth = 32
 
 // DriverConfig tunes one driver attachment.
 type DriverConfig struct {
@@ -106,6 +111,11 @@ type IOCounters struct {
 	Retries    uint64 // re-submissions after a retryable failure
 	Stragglers uint64 // late CQEs that reclaimed a zombied CID
 	Spurious   uint64 // CQEs matching neither a waiter nor a zombie
+	// Reclaimed counts zombied CIDs recycled by ReclaimZombies rather than
+	// by a straggler CQE — after a controller crash the straggler never
+	// comes, so the re-attach path forcibly returns the slots. Every
+	// timeout therefore ends as either a Straggler or a Reclaimed.
+	Reclaimed uint64
 	// ZombiesLeft is the number of CIDs still parked on zombie lists —
 	// timed-out attempts whose straggler CQE never arrived.
 	ZombiesLeft int
@@ -182,7 +192,6 @@ func AttachDriver(p *sim.Proc, h *Host, port *pcie.Port, fn pcie.FuncID, cfg Dri
 	h.register(d)
 
 	// Admin queue pair.
-	const adminDepth = 32
 	d.admin = d.newQueue(0, adminDepth, 4096)
 	port.MMIOWrite(fn, regAQA, uint64(adminDepth-1)<<16|uint64(adminDepth-1))
 	port.MMIOWrite(fn, regASQ, d.admin.sqRing.Base)
@@ -373,6 +382,116 @@ func (d *Driver) IRQ(vec int) {
 			d.ioc.Spurious++
 		}
 	}
+}
+
+// ReclaimZombies forcibly recycles every zombied CID on every queue and
+// returns how many it freed. Zombies normally wait for their straggler CQE,
+// but a crashed controller posts no completions ever again — after the
+// engine has been declared dead (and certainly after a re-attach reset the
+// rings), the parked slots are dead capital. Admin zombies (from aborts
+// whose own completion timed out) are reclaimed too; only I/O-queue slots
+// count toward IOCounters.Reclaimed, matching the counter's admin-excluded
+// contract.
+func (d *Driver) ReclaimZombies() int {
+	n := d.reclaimQueue(d.admin)
+	for _, q := range d.queues {
+		n += d.reclaimQueue(q)
+	}
+	if d.tr != nil && n > 0 {
+		d.tr.Emit(d.h.Env.Now(), "host", "reclaim", uint64(d.fn), uint64(n), "")
+	}
+	return n
+}
+
+// reclaimQueue recycles one queue's zombied CIDs in CID order (determinism:
+// the zombie set is a map).
+func (d *Driver) reclaimQueue(q *dq) int {
+	if len(q.zombie) == 0 {
+		return 0
+	}
+	cids := make([]uint16, 0, len(q.zombie))
+	for cid := range q.zombie {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	for _, cid := range cids {
+		delete(q.zombie, cid)
+		q.free = append(q.free, cid)
+		q.slots.Release()
+		if q.id != 0 {
+			d.ioc.Reclaimed++
+		}
+	}
+	return len(cids)
+}
+
+// Reattach re-initialises a controller that came back from a crash: the
+// device reset wiped its queue state, so the driver rebuilds the admin
+// queue registers and recreates every I/O queue pair over the same host
+// memory. Ring indices are reset in place — the rings themselves (and the
+// per-slot DMA buffers) are reused, which is why recovery must NOT
+// transparently resume old submissions: the device could re-DMA from
+// buffers the kernel has since handed to new I/Os. Instead, in-flight
+// commands from before the crash ride the normal timeout/retry machinery
+// and re-enter through fresh submissions.
+//
+// I/O zombie reclamation runs LAST: releasing those slots any earlier
+// would let parked retries submit mid-bring-up into I/O queues the
+// controller does not know about yet, and those doorbells would be lost.
+// Admin zombies are the opposite case — they are reclaimed FIRST, because
+// the bring-up's own admin commands need slots, and an aborter woken by the
+// release cannot submit before CC=1: the recovery process writes every
+// bring-up register without yielding in between.
+func (d *Driver) Reattach(p *sim.Proc) error {
+	reset := func(q *dq) {
+		q.tail, q.cqHead, q.phase = 0, 0, true
+		// Zero the CQ ring: stale pre-crash CQEs still carry phase=1, and the
+		// reap loop would race past the device's tail consuming them.
+		d.h.Mem.Write(q.cqRing.Base, make([]byte, int(q.cqRing.Entries)*nvme.CQESize))
+	}
+	reset(d.admin)
+	for _, q := range d.queues {
+		reset(q)
+	}
+	d.reclaimQueue(d.admin)
+
+	port, fn := d.port, d.fn
+	port.MMIOWrite(fn, regCC, 0)
+	port.MMIOWrite(fn, regAQA, uint64(adminDepth-1)<<16|uint64(adminDepth-1))
+	port.MMIOWrite(fn, regASQ, d.admin.sqRing.Base)
+	port.MMIOWrite(fn, regACQ, d.admin.cqRing.Base)
+	port.MMIOWrite(fn, regCC, 1)
+	p.Sleep(20 * sim.Microsecond) // CSTS.RDY poll
+
+	page := d.h.Mem.AllocPages(1)
+	cpl := d.AdminCmd(p, nvme.Command{Opcode: nvme.AdminIdentify, PRP1: page, CDW10: nvme.CNSController})
+	if cpl.Status.IsError() {
+		return fmt.Errorf("host: reattach identify failed: %#x", cpl.Status)
+	}
+	for _, q := range d.queues {
+		depth := q.sqRing.Entries
+		cpl = d.AdminCmd(p, nvme.Command{
+			Opcode: nvme.AdminCreateIOCQ, PRP1: q.cqRing.Base,
+			CDW10: (depth-1)<<16 | uint32(q.id),
+		})
+		if cpl.Status.IsError() {
+			return fmt.Errorf("host: reattach create CQ %d failed: %#x", q.id, cpl.Status)
+		}
+		cpl = d.AdminCmd(p, nvme.Command{
+			Opcode: nvme.AdminCreateIOSQ, PRP1: q.sqRing.Base,
+			CDW10: (depth-1)<<16 | uint32(q.id), CDW11: uint32(q.id) << 16,
+		})
+		if cpl.Status.IsError() {
+			return fmt.Errorf("host: reattach create SQ %d failed: %#x", q.id, cpl.Status)
+		}
+	}
+	if d.tr != nil {
+		d.tr.Emit(d.h.Env.Now(), "host", "reattach", uint64(d.fn), 0, "")
+	}
+	for _, q := range d.queues {
+		d.reclaimQueue(q)
+	}
+	return nil
 }
 
 // AdminCmd submits one admin command and waits for its completion.

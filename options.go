@@ -1,6 +1,7 @@
 package bmstore
 
 import (
+	"bmstore/internal/crash"
 	"bmstore/internal/fault"
 	"bmstore/internal/obs"
 	"bmstore/internal/obs/timeline"
@@ -61,6 +62,17 @@ func WithFaults(rules ...fault.Rule) Option {
 // (obs.Options.Timeline); Validate rejects the silent-no-op combination.
 func WithTimeline(tc timeline.Config) Option {
 	return func(c *Config) { c.Timeline = tc }
+}
+
+// WithCrashRecovery arms the crash-recovery subsystem on a BM-Store rig: a
+// crash.Manager is built around the engine (checkpoint on control-plane
+// changes, intent journal of acked writes, recovery after engine-crash
+// fault points) and reachable afterwards via Testbed.Crash. Requires
+// CaptureData — the journal's ground truth is the payload bytes on the
+// media, so a content-free rig has nothing to journal or verify; Validate
+// rejects the combination.
+func WithCrashRecovery(cc crash.Config) Option {
+	return func(c *Config) { c.CrashRecovery = &cc }
 }
 
 // WithClassicPath forces the classic process-per-command data path even on
